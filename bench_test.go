@@ -1,0 +1,179 @@
+// Benchmarks: one per experiment in the reproduction suite. Each
+// iteration regenerates the experiment's table in quick mode and reports
+// its headline metrics, so `go test -bench=. -benchmem` doubles as a
+// one-shot reproduction of every quantitative claim in the paper (see
+// EXPERIMENTS.md for the paper-vs-measured record and
+// `go run ./cmd/fstutter all` for the full-scale tables).
+package failstutter_test
+
+import (
+	"testing"
+
+	"failstutter/internal/experiments"
+)
+
+// benchCfg mirrors the test suite's quick configuration.
+var benchCfg = experiments.Config{Seed: 42, Quick: true}
+
+// runExperiment executes the experiment b.N times and republishes the
+// selected metrics from the final run.
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl *experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl = e.Run(benchCfg)
+	}
+	b.StopTimer()
+	for _, m := range metrics {
+		if v, ok := tbl.Metric(m); ok {
+			b.ReportMetric(v, m)
+		} else {
+			b.Fatalf("experiment %s missing metric %q", id, m)
+		}
+	}
+}
+
+func BenchmarkE01ScenarioFailStop(b *testing.B) {
+	runExperiment(b, "E01", "throughput", "predicted")
+}
+
+func BenchmarkE02ScenarioGauged(b *testing.B) {
+	runExperiment(b, "E02", "throughput_static", "throughput_drift")
+}
+
+func BenchmarkE03ScenarioAdaptive(b *testing.B) {
+	runExperiment(b, "E03", "throughput_static", "throughput_dyn_adaptive", "bookkeeping_adaptive")
+}
+
+func BenchmarkE04StripeTracksSlowest(b *testing.B) {
+	runExperiment(b, "E04", "throughput_50", "predicted_50")
+}
+
+func BenchmarkE05BadBlockRemap(b *testing.B) {
+	runExperiment(b, "E05", "healthy_bw", "bw_2")
+}
+
+func BenchmarkE06SCSITimeouts(b *testing.B) {
+	runExperiment(b, "E06", "errors_per_day", "chain_loss_frac")
+}
+
+func BenchmarkE07ThermalRecal(b *testing.B) {
+	runExperiment(b, "E07", "miss_b0.5_r3", "miss_b4_r3")
+}
+
+func BenchmarkE08ZoneGeometry(b *testing.B) {
+	runExperiment(b, "E08", "zone_ratio")
+}
+
+func BenchmarkE09CacheMasking(b *testing.B) {
+	runExperiment(b, "E09", "max_slowdown")
+}
+
+func BenchmarkE10TransposeFlowControl(b *testing.B) {
+	runExperiment(b, "E10", "slowdown_n1_s0.33")
+}
+
+func BenchmarkE11SwitchUnfairness(b *testing.B) {
+	runExperiment(b, "E11", "global_slowdown", "rate_ratio")
+}
+
+func BenchmarkE12DeadlockRecovery(b *testing.B) {
+	runExperiment(b, "E12", "time_0", "time_2")
+}
+
+func BenchmarkE13AgedFileSystem(b *testing.B) {
+	runExperiment(b, "E13", "age_ratio", "fresh_identical")
+}
+
+func BenchmarkE14DHTGarbageCollection(b *testing.B) {
+	runExperiment(b, "E14", "puts_healthy", "puts_gc_sync", "puts_gc_adaptive")
+}
+
+func BenchmarkE15SortCPUHog(b *testing.B) {
+	runExperiment(b, "E15", "slowdown_static-partition", "slowdown_work-queue")
+}
+
+func BenchmarkE16MemoryHog(b *testing.B) {
+	runExperiment(b, "E16", "max_stretch")
+}
+
+func BenchmarkE17MemoryBankConflict(b *testing.B) {
+	runExperiment(b, "E17", "eff_50")
+}
+
+func BenchmarkE18PromotionThreshold(b *testing.B) {
+	runExperiment(b, "E18", "promoted_stall2_T15", "promoted_stall10_T5")
+}
+
+func BenchmarkE19NotificationPolicy(b *testing.B) {
+	runExperiment(b, "E19", "every_p8", "persistent_p8")
+}
+
+func BenchmarkE20Availability(b *testing.B) {
+	runExperiment(b, "E20", "availability_failstop", "availability_failstutter")
+}
+
+func BenchmarkE21IncrementalGrowth(b *testing.B) {
+	runExperiment(b, "E21", "throughput_static", "throughput_adaptive")
+}
+
+func BenchmarkE22FailurePrediction(b *testing.B) {
+	runExperiment(b, "E22", "lead_60", "false_positive_samples")
+}
+
+func BenchmarkE23SlowdownReissue(b *testing.B) {
+	runExperiment(b, "E23", "makespan_ms_work-queue", "makespan_ms_reissue", "wasted_reissue")
+}
+
+func BenchmarkE24SchedulerComparison(b *testing.B) {
+	runExperiment(b, "E24", "mid_ms_static-partition", "mid_ms_work-queue")
+}
+
+func BenchmarkE25RiverDistributedQueue(b *testing.B) {
+	runExperiment(b, "E25", "frac_credit-based", "frac_round-robin")
+}
+
+func BenchmarkE26GraduatedDeclustering(b *testing.B) {
+	runExperiment(b, "E26", "static_0.50", "graduated_0.50")
+}
+
+func BenchmarkE27RunTimeVariance(b *testing.B) {
+	runExperiment(b, "E27", "median", "worst")
+}
+
+func BenchmarkE28MeasurementSpread(b *testing.B) {
+	runExperiment(b, "E28", "median_frac", "worst_frac")
+}
+
+func BenchmarkE29BSPBarrierTax(b *testing.B) {
+	runExperiment(b, "E29", "slowdown_static", "slowdown_elastic")
+}
+
+func BenchmarkE31WindVolume(b *testing.B) {
+	runExperiment(b, "E31", "writes_adaptive_stutter", "writes_static_stutter")
+}
+
+func BenchmarkE30DesignDiversity(b *testing.B) {
+	runExperiment(b, "E30", "crash_survived_homogeneous", "crash_survived_diverse")
+}
+
+func BenchmarkA1DetectorAblation(b *testing.B) {
+	runExperiment(b, "A1", "lag_ewma-fast0.8", "lag_ewma-fast0.1")
+}
+
+func BenchmarkA2RegaugeInterval(b *testing.B) {
+	runExperiment(b, "A2", "throughput_0.1", "throughput_4")
+}
+
+func BenchmarkA3PeerVsAbsolute(b *testing.B) {
+	runExperiment(b, "A3", "abs_fleet_flags", "peer_fleet_flags")
+}
+
+func BenchmarkA4PullDepth(b *testing.B) {
+	runExperiment(b, "A4", "stall_d1", "stall_d32")
+}

@@ -1,0 +1,99 @@
+// Command fstutter runs the fail-stutter reproduction suite: every
+// quantitative claim from "Fail-Stutter Fault Tolerance" (HotOS 2001)
+// regenerated as a table.
+//
+// Usage:
+//
+//	fstutter list                 # show every experiment and its claim
+//	fstutter run E01 E03 A2      # run selected experiments
+//	fstutter all                  # run the full suite
+//
+// Flags:
+//
+//	-seed N    random seed (default 42)
+//	-quick     shrink workloads for a fast pass (the test suite's mode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failstutter/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "random seed for all stochastic components")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Usage = usage
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "fstutter: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	asCSV = *format == "csv"
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Printf("     paper: %s\n", e.PaperClaim)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			runOne(e, cfg)
+		}
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "fstutter run: at least one experiment id required")
+			os.Exit(2)
+		}
+		for _, id := range args[1:] {
+			e, err := experiments.Get(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runOne(e, cfg)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fstutter: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+// asCSV selects CSV table output, set from the -format flag.
+var asCSV bool
+
+func runOne(e experiments.Experiment, cfg experiments.Config) {
+	tbl := e.Run(cfg)
+	if asCSV {
+		fmt.Print(tbl.CSV())
+		return
+	}
+	fmt.Println(tbl.Format())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fstutter — fail-stutter fault tolerance reproduction suite
+
+usage:
+  fstutter [flags] list
+  fstutter [flags] run <id>...
+  fstutter [flags] all
+
+flags:
+  -seed N        random seed (default 42)
+  -quick         shrink workloads for a fast pass
+  -format FMT    text (default) or csv
+`)
+}

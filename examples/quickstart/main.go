@@ -1,0 +1,67 @@
+// Quickstart: watch a component stutter, detect it, and see the registry
+// publish a persistent performance fault.
+//
+// A simulated disk serves a constant stream of requests. Thirty seconds
+// in it degrades to 30% of its rate (a performance fault — the disk has
+// NOT failed). A spec detector with hysteresis classifies it, and the
+// controller publishes the transition to the registry, where a subscriber
+// reacts — the complete fail-stutter loop in one file.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"failstutter"
+)
+
+func main() {
+	s := failstutter.NewSimulator()
+
+	disk, err := failstutter.NewDisk(s, failstutter.HawkParams("hawk-0"))
+	if err != nil {
+		panic(err)
+	}
+
+	// Keep the disk busy with 1 MB sequential reads forever.
+	var refill func(block int64)
+	refill = func(block int64) {
+		if block+256 > disk.Params().CapacityBlocks {
+			block = 0
+		}
+		disk.Read(block, 256, func(float64) { refill(block + 256) })
+	}
+	refill(0)
+
+	// The performance fault: at t=30 s the disk slows to 30% (imagine a
+	// bad-block storm or a competing background scrub).
+	s.At(30, func() { disk.Composite().Set("degradation", 0.3) })
+	// And at t=90 s it recovers.
+	s.At(90, func() { disk.Composite().Clear("degradation") })
+
+	// The fail-stutter control plane: probe the disk's byte counter every
+	// second, judge it against its spec (5.5 MB/s outer zone, 30%
+	// tolerance, promote to absolute after 20 s of silence), publish only
+	// persistent transitions.
+	ctl := failstutter.NewController(s)
+	ctl.Watch("hawk-0", disk.BytesCompleted, failstutter.AttachConfig{
+		Interval: 1,
+		Detector: failstutter.NewSpecDetector(failstutter.Spec{
+			ExpectedRate:     5.5e6,
+			Tolerance:        0.3,
+			PromotionTimeout: 20,
+		}),
+		Policy: failstutter.NotifyPersistent,
+	})
+
+	ctl.Registry().Subscribe(func(e failstutter.RegistryEvent) {
+		fmt.Printf("t=%5.1fs  %s: %v -> %v\n", e.At, e.Component, e.From, e.To)
+	})
+
+	s.RunUntil(120)
+
+	fmt.Printf("\nfinal state of hawk-0: %v\n", ctl.State("hawk-0"))
+	fmt.Printf("notifications published: %d (every raw blip would have been noisier)\n",
+		ctl.Registry().Notifications())
+}

@@ -1,0 +1,3 @@
+module failstutter
+
+go 1.22

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BSPParams configures a bulk-synchronous parallel computation: Rounds
+// supersteps, each ending in a barrier. This is the "static use of
+// parallelism" the paper's introduction singles out: because every round
+// waits for the slowest participant, a single performance-faulty node
+// taxes every round of the whole machine.
+type BSPParams struct {
+	// Rounds is the number of barrier-separated supersteps.
+	Rounds int
+	// UnitsPerWorkerRound is each worker's share of one round's work.
+	UnitsPerWorkerRound int
+	// Elastic, when true, pools each round's work and lets workers pull
+	// it in Grain-sized pieces: the barrier remains (the algorithm
+	// requires it) but within a round fast workers absorb a straggler's
+	// share, so the straggler delays the barrier only by its final grain.
+	Elastic bool
+	// Grain is the pull granularity for the elastic variant (default 20
+	// units).
+	Grain int
+}
+
+// BSPReport summarizes a BSP run.
+type BSPReport struct {
+	Params   BSPParams
+	Makespan time.Duration
+	// PerWorkerUnits is the work each worker actually executed.
+	PerWorkerUnits []int64
+}
+
+func (r BSPReport) String() string {
+	kind := "static"
+	if r.Params.Elastic {
+		kind = "elastic"
+	}
+	return fmt.Sprintf("bsp(%s): %d rounds in %v", kind, r.Params.Rounds,
+		r.Makespan.Round(time.Millisecond))
+}
+
+// RunBSP executes the computation on the pool and reports.
+func RunBSP(p *Pool, params BSPParams) BSPReport {
+	if params.Rounds < 1 || params.UnitsPerWorkerRound < 1 {
+		panic(fmt.Sprintf("cluster: invalid BSP params %+v", params))
+	}
+	grain := params.Grain
+	if grain < 1 {
+		grain = 20
+	}
+	before := snapshotUnits(p)
+	start := time.Now()
+	n := p.Size()
+	for round := 0; round < params.Rounds; round++ {
+		var wg sync.WaitGroup
+		if !params.Elastic {
+			for _, w := range p.Workers() {
+				wg.Add(1)
+				go func(w *Worker) {
+					defer wg.Done()
+					w.runUnits(params.UnitsPerWorkerRound, nil)
+				}(w)
+			}
+		} else {
+			total := params.UnitsPerWorkerRound * n
+			grains := make(chan int, total/grain+1)
+			for rem := total; rem > 0; rem -= grain {
+				g := grain
+				if rem < grain {
+					g = rem
+				}
+				grains <- g
+			}
+			close(grains)
+			for _, w := range p.Workers() {
+				wg.Add(1)
+				go func(w *Worker) {
+					defer wg.Done()
+					for g := range grains {
+						w.runUnits(g, nil)
+					}
+				}(w)
+			}
+		}
+		wg.Wait() // the barrier
+	}
+	return BSPReport{
+		Params:         params,
+		Makespan:       time.Since(start),
+		PerWorkerUnits: perWorkerUnits(p, before),
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBSPCompletesAllWork(t *testing.T) {
+	p := NewPool(4, q)
+	r := RunBSP(p, BSPParams{Rounds: 3, UnitsPerWorkerRound: 40})
+	var sum int64
+	for _, u := range r.PerWorkerUnits {
+		sum += u
+	}
+	if sum != 3*4*40 {
+		t.Fatalf("executed %d units, want %d", sum, 3*4*40)
+	}
+	if !strings.Contains(r.String(), "static") {
+		t.Fatalf("report string %q", r.String())
+	}
+}
+
+func TestBSPElasticCompletesAllWork(t *testing.T) {
+	p := NewPool(4, q)
+	r := RunBSP(p, BSPParams{Rounds: 3, UnitsPerWorkerRound: 40, Elastic: true})
+	var sum int64
+	for _, u := range r.PerWorkerUnits {
+		sum += u
+	}
+	if sum != 3*4*40 {
+		t.Fatalf("executed %d units, want %d", sum, 3*4*40)
+	}
+	if !strings.Contains(r.String(), "elastic") {
+		t.Fatalf("report string %q", r.String())
+	}
+}
+
+func TestBSPBarrierGatedBySlowWorker(t *testing.T) {
+	// One worker at quarter speed: static BSP pays ~4x on every round;
+	// elastic BSP redistributes within rounds and stays close to healthy.
+	run := func(elastic bool) time.Duration {
+		p := NewPool(4, q)
+		p.Workers()[0].SetSpeed(0.25)
+		return RunBSP(p, BSPParams{Rounds: 4, UnitsPerWorkerRound: 60, Elastic: elastic, Grain: 20}).Makespan
+	}
+	static := run(false)
+	elastic := run(true)
+	if elastic*2 > static {
+		t.Fatalf("elastic BSP %v not clearly below static %v with a slow worker",
+			elastic, static)
+	}
+}
+
+func TestBSPElasticSkewsWorkToFastWorkers(t *testing.T) {
+	p := NewPool(4, q)
+	p.Workers()[0].SetSpeed(0.2)
+	r := RunBSP(p, BSPParams{Rounds: 2, UnitsPerWorkerRound: 60, Elastic: true, Grain: 20})
+	slow := r.PerWorkerUnits[0]
+	for i, u := range r.PerWorkerUnits[1:] {
+		if slow >= u {
+			t.Fatalf("slow worker did %d units, healthy worker %d did %d", slow, i+1, u)
+		}
+	}
+}
+
+func TestBSPInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid BSP params did not panic")
+		}
+	}()
+	RunBSP(NewPool(2, q), BSPParams{})
+}

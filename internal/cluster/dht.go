@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"failstutter/internal/stats"
+)
+
+// DHTParams configures a replicated in-memory hash table in the style of
+// Gribble et al.'s distributed data structures: every key is stored on
+// Replication consecutive nodes, and a put is acknowledged according to
+// the replication mode.
+type DHTParams struct {
+	// Nodes is the number of storage bricks.
+	Nodes int
+	// Replication is the number of copies per key (>= 1).
+	Replication int
+	// OpQuantum is the service time of one operation at node speed 1.
+	OpQuantum time.Duration
+	// Adaptive enables fail-stutter awareness: a peer-relative detector
+	// watches node throughput, and puts touching a flagged replica are
+	// acknowledged without waiting for it; the write is still delivered
+	// (hinted handoff) and counted as redundancy debt in Hints.
+	Adaptive bool
+	// SampleEvery is the adaptive detector's sampling period (default
+	// 20 op quanta).
+	SampleEvery time.Duration
+	// Threshold is the peer-relative fraction below which a node is
+	// flagged (default 0.5).
+	Threshold float64
+}
+
+// DHT is the running structure. Create with NewDHT, drive with Put or
+// RunLoad, and always Stop it.
+type DHT struct {
+	p     DHTParams
+	nodes []*dhtNode
+	flags []atomic.Bool
+	hints atomic.Int64
+	puts  atomic.Int64
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type dhtNode struct {
+	w   *Worker
+	ops chan func()
+	// outstanding counts enqueued-but-unfinished operations, including
+	// the one in service — channel length alone misses it, and a node
+	// blocked on its only op would otherwise look idle to the detector.
+	outstanding atomic.Int64
+}
+
+// NewDHT builds and starts the node goroutines.
+func NewDHT(p DHTParams) *DHT {
+	if p.Nodes < 1 || p.Replication < 1 || p.Replication > p.Nodes || p.OpQuantum <= 0 {
+		panic("cluster: invalid DHT params")
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 0.5
+	}
+	if p.SampleEvery <= 0 {
+		p.SampleEvery = 20 * p.OpQuantum
+	}
+	d := &DHT{p: p, stop: make(chan struct{})}
+	d.flags = make([]atomic.Bool, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		n := &dhtNode{
+			w:   NewWorker(i, p.OpQuantum),
+			ops: make(chan func(), 1<<16),
+		}
+		d.nodes = append(d.nodes, n)
+		d.wg.Add(1)
+		go func(n *dhtNode) {
+			defer d.wg.Done()
+			for fn := range n.ops {
+				n.w.runUnits(1, nil)
+				fn()
+				n.outstanding.Add(-1)
+			}
+		}(n)
+	}
+	if p.Adaptive {
+		d.wg.Add(1)
+		go d.detectorLoop()
+	}
+	return d
+}
+
+// Node returns the i'th node's worker, the injection point for GC pauses
+// and slowdowns.
+func (d *DHT) Node(i int) *Worker { return d.nodes[i].w }
+
+// Puts returns completed (acknowledged) puts.
+func (d *DHT) Puts() int64 { return d.puts.Load() }
+
+// Hints returns the number of replica writes acknowledged before
+// delivery under the adaptive mode — the redundancy debt taken on to ride
+// out a stutter.
+func (d *DHT) Hints() int64 { return d.hints.Load() }
+
+// Flagged reports whether node i is currently considered
+// performance-faulty by the detector.
+func (d *DHT) Flagged(i int) bool { return d.flags[i].Load() }
+
+// replicas returns the node indices holding the key.
+func (d *DHT) replicas(key uint64) []int {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(key >> (8 * i))
+	}
+	h.Write(buf[:])
+	base := int(h.Sum64() % uint64(d.p.Nodes))
+	out := make([]int, d.p.Replication)
+	for i := range out {
+		out[i] = (base + i) % d.p.Nodes
+	}
+	return out
+}
+
+// Put stores the key and blocks until acknowledged per the replication
+// mode.
+func (d *DHT) Put(key uint64) {
+	reps := d.replicas(key)
+	var syncReps, asyncReps []int
+	if d.p.Adaptive {
+		for _, r := range reps {
+			if d.flags[r].Load() {
+				asyncReps = append(asyncReps, r)
+			} else {
+				syncReps = append(syncReps, r)
+			}
+		}
+		if len(syncReps) == 0 {
+			// Every replica is stuttering: no healthy copy to anchor on,
+			// fall back to synchronous semantics.
+			syncReps, asyncReps = reps, nil
+		}
+	} else {
+		syncReps = reps
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(syncReps))
+	for _, r := range syncReps {
+		d.nodes[r].outstanding.Add(1)
+		d.nodes[r].ops <- wg.Done
+	}
+	for _, r := range asyncReps {
+		d.hints.Add(1)
+		d.nodes[r].outstanding.Add(1)
+		d.nodes[r].ops <- func() {}
+	}
+	wg.Wait()
+	d.puts.Add(1)
+}
+
+// detectorLoop is the adaptive mode's peer-relative stutter detector.
+func (d *DHT) detectorLoop() {
+	defer d.wg.Done()
+	last := make([]int64, d.p.Nodes)
+	for i, n := range d.nodes {
+		last[i] = n.w.UnitsDone()
+	}
+	tick := time.NewTicker(d.p.SampleEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+			rates := make([]float64, d.p.Nodes)
+			for i, n := range d.nodes {
+				cur := n.w.UnitsDone()
+				rates[i] = float64(cur - last[i])
+				last[i] = cur
+			}
+			med := stats.Median(rates)
+			for i := range rates {
+				backlog := d.nodes[i].outstanding.Load()
+				switch {
+				case backlog == 0:
+					// Nothing outstanding: no evidence of ongoing stutter;
+					// the next put will re-probe the node.
+					d.flags[i].Store(false)
+				case med <= 0:
+					// Fleet idle but this node has a backlog: keep the
+					// current assessment.
+				default:
+					// Flag divergent nodes that have work they are failing
+					// to do. Recovery requires both a healthy rate and a
+					// drained backlog — unflagging onto a mountain of
+					// hinted writes would stall every subsequent
+					// synchronous put behind them.
+					slow := rates[i] < d.p.Threshold*med
+					d.flags[i].Store(slow || backlog > 16)
+				}
+			}
+		}
+	}
+}
+
+// RunLoad drives the table with the given number of closed-loop client
+// goroutines for the duration, using sequential keys per client (uniform
+// placement). It returns the number of acknowledged puts.
+func (d *DHT) RunLoad(clients int, duration time.Duration) int64 {
+	start := d.puts.Load()
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := uint64(c) << 32
+			for time.Now().Before(deadline) {
+				d.Put(key)
+				key++
+			}
+		}(c)
+	}
+	wg.Wait()
+	return d.puts.Load() - start
+}
+
+// StartGC injects periodic garbage-collection pauses on node i: every
+// period the node stalls completely for pause. Returns a cancel func.
+func (d *DHT) StartGC(i int, period, pause time.Duration) func() {
+	stop := make(chan struct{})
+	w := d.nodes[i].w
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				w.SetSpeed(1)
+				return
+			case <-tick.C:
+				w.SetSpeed(0)
+				select {
+				case <-stop:
+					w.SetSpeed(1)
+					return
+				case <-time.After(pause):
+					w.SetSpeed(1)
+				}
+			}
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// Stop shuts down the node goroutines. Pending queued operations are
+// executed first; callers must not Put after Stop.
+func (d *DHT) Stop() {
+	close(d.stop)
+	for _, n := range d.nodes {
+		close(n.ops)
+	}
+	d.wg.Wait()
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+const opQ = 50 * time.Microsecond
+
+func TestDHTBasicPuts(t *testing.T) {
+	d := NewDHT(DHTParams{Nodes: 4, Replication: 2, OpQuantum: opQ})
+	defer d.Stop()
+	for i := 0; i < 100; i++ {
+		d.Put(uint64(i))
+	}
+	if d.Puts() != 100 {
+		t.Fatalf("puts = %d", d.Puts())
+	}
+	if d.Hints() != 0 {
+		t.Fatalf("sync mode produced %d hints", d.Hints())
+	}
+	// Every put lands Replication copies: total node work = 200 ops.
+	var total int64
+	for i := 0; i < 4; i++ {
+		total += d.Node(i).UnitsDone()
+	}
+	if total != 200 {
+		t.Fatalf("node ops = %d, want 200", total)
+	}
+}
+
+func TestDHTReplicaPlacementSpread(t *testing.T) {
+	d := NewDHT(DHTParams{Nodes: 8, Replication: 2, OpQuantum: opQ})
+	defer d.Stop()
+	counts := make([]int, 8)
+	for k := uint64(0); k < 4000; k++ {
+		for _, r := range d.replicas(k) {
+			counts[r]++
+		}
+	}
+	for i, c := range counts {
+		// 4000 keys * 2 replicas / 8 nodes = 1000 each; allow wide noise.
+		if c < 700 || c > 1300 {
+			t.Fatalf("node %d holds %d replicas, want ~1000", i, c)
+		}
+	}
+}
+
+func TestDHTReplicasDistinct(t *testing.T) {
+	d := NewDHT(DHTParams{Nodes: 4, Replication: 2, OpQuantum: opQ})
+	defer d.Stop()
+	for k := uint64(0); k < 100; k++ {
+		reps := d.replicas(k)
+		if reps[0] == reps[1] {
+			t.Fatalf("key %d replicas collide: %v", k, reps)
+		}
+	}
+}
+
+// Gribble's observation (E14): untimely GC on one node makes it the
+// bottleneck of the whole replicated structure under synchronous
+// replication.
+func TestDHTGCCollapsesSyncThroughput(t *testing.T) {
+	run := func(gc bool) int64 {
+		d := NewDHT(DHTParams{Nodes: 4, Replication: 2, OpQuantum: opQ})
+		defer d.Stop()
+		if gc {
+			cancel := d.StartGC(0, 40*time.Millisecond, 35*time.Millisecond)
+			defer cancel()
+		}
+		return d.RunLoad(8, 400*time.Millisecond)
+	}
+	healthy := run(false)
+	gced := run(true)
+	if gced*10 > healthy*8 {
+		t.Fatalf("GC did not hurt sync throughput: healthy %d vs GC %d", healthy, gced)
+	}
+}
+
+func TestDHTAdaptiveRidesOutGC(t *testing.T) {
+	run := func(adaptive bool) (puts, hints int64) {
+		d := NewDHT(DHTParams{
+			Nodes: 4, Replication: 2, OpQuantum: opQ,
+			Adaptive: adaptive, SampleEvery: time.Millisecond,
+		})
+		defer d.Stop()
+		cancel := d.StartGC(0, 40*time.Millisecond, 35*time.Millisecond)
+		defer cancel()
+		p := d.RunLoad(8, 400*time.Millisecond)
+		return p, d.Hints()
+	}
+	syncPuts, _ := run(false)
+	adPuts, adHints := run(true)
+	if adPuts*100 < syncPuts*115 {
+		t.Fatalf("adaptive %d puts not clearly better than sync %d under GC", adPuts, syncPuts)
+	}
+	if adHints == 0 {
+		t.Fatal("adaptive mode recorded no hinted handoffs")
+	}
+}
+
+func TestDHTFlagsClearAfterRecovery(t *testing.T) {
+	d := NewDHT(DHTParams{
+		Nodes: 4, Replication: 2, OpQuantum: opQ,
+		Adaptive: true, SampleEvery: time.Millisecond,
+	})
+	defer d.Stop()
+	cancel := d.StartGC(0, 20*time.Millisecond, 15*time.Millisecond)
+	d.RunLoad(8, 150*time.Millisecond)
+	cancel()
+	// Once load stops and the hinted backlog drains, the flag must clear.
+	// Under load the node may legitimately stay flagged: hinted writes
+	// arrive at its full service rate, so the backlog only drains in
+	// quiet periods.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Flagged(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("node 0 still flagged long after GC stopped and load ended")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDHTValidation(t *testing.T) {
+	bad := []DHTParams{
+		{},
+		{Nodes: 2, Replication: 3, OpQuantum: opQ},
+		{Nodes: 2, Replication: 1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad params %d accepted", i)
+				}
+			}()
+			NewDHT(p)
+		}()
+	}
+}

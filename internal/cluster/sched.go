@@ -1,0 +1,598 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"failstutter/internal/stats"
+)
+
+// Task is one unit of schedulable work.
+type Task struct {
+	ID    int
+	Units int
+}
+
+// UniformTasks builds n tasks of equal size.
+func UniformTasks(n, units int) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{ID: i, Units: units}
+	}
+	return ts
+}
+
+// Report summarizes one scheduled run.
+type Report struct {
+	Scheduler      string
+	Makespan       time.Duration
+	Tasks          int
+	PerWorkerUnits []int64
+	// WastedUnits is work executed for tasks whose completion had already
+	// been claimed by another replica — the replication cost of hedging
+	// and reissue.
+	WastedUnits int64
+	// Duplicates is the number of extra executions launched.
+	Duplicates int64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %d tasks in %v (wasted %d units, %d duplicate launches)",
+		r.Scheduler, r.Tasks, r.Makespan.Round(time.Millisecond), r.WastedUnits, r.Duplicates)
+}
+
+// Scheduler runs a task set on a pool and reports.
+type Scheduler interface {
+	Name() string
+	Run(p *Pool, tasks []Task) Report
+}
+
+// taskBoard is the shared completion ledger: at-most-once completion per
+// task via an atomic claim, the "reconciling properly so as to avoid work
+// replication" of Shasha & Turek.
+type taskBoard struct {
+	claimed []atomic.Bool
+	left    atomic.Int64
+	wasted  atomic.Int64
+	dups    atomic.Int64
+}
+
+func newTaskBoard(n int) *taskBoard {
+	b := &taskBoard{claimed: make([]atomic.Bool, n)}
+	b.left.Store(int64(n))
+	return b
+}
+
+// execute runs task t on worker w, aborting early if another execution
+// claims it first. It returns true if this execution won.
+func (b *taskBoard) execute(w *Worker, t Task) bool {
+	ran := w.runUnits(t.Units, func() bool { return b.claimed[t.ID].Load() })
+	w.tasksDone.Add(1)
+	if ran < t.Units || !b.claimed[t.ID].CompareAndSwap(false, true) {
+		b.wasted.Add(int64(ran))
+		return false
+	}
+	b.left.Add(-1)
+	return true
+}
+
+func (b *taskBoard) done() bool { return b.left.Load() == 0 }
+
+func perWorkerUnits(p *Pool, before []int64) []int64 {
+	out := make([]int64, p.Size())
+	for i, w := range p.Workers() {
+		out[i] = w.UnitsDone() - before[i]
+	}
+	return out
+}
+
+func snapshotUnits(p *Pool) []int64 {
+	out := make([]int64, p.Size())
+	for i, w := range p.Workers() {
+		out[i] = w.UnitsDone()
+	}
+	return out
+}
+
+// StaticPartition divides the task list into contiguous equal-count
+// chunks, one per worker, with no later rebalancing: the fail-stop-design
+// baseline whose "parallel-performance assumption" the paper's
+// introduction criticizes.
+type StaticPartition struct{}
+
+// Name implements Scheduler.
+func (StaticPartition) Name() string { return "static-partition" }
+
+// Run implements Scheduler.
+func (StaticPartition) Run(p *Pool, tasks []Task) Report {
+	board := newTaskBoard(len(tasks))
+	before := snapshotUnits(p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	n := p.Size()
+	for i, w := range p.Workers() {
+		lo := i * len(tasks) / n
+		hi := (i + 1) * len(tasks) / n
+		wg.Add(1)
+		go func(w *Worker, chunk []Task) {
+			defer wg.Done()
+			for _, t := range chunk {
+				board.execute(w, t)
+			}
+		}(w, tasks[lo:hi])
+	}
+	wg.Wait()
+	return Report{
+		Scheduler:      "static-partition",
+		Makespan:       time.Since(start),
+		Tasks:          len(tasks),
+		PerWorkerUnits: perWorkerUnits(p, before),
+	}
+}
+
+// WorkQueue is the River-style central queue: every idle worker pulls the
+// next task, so placement follows current rates automatically. No
+// duplication: a stalled worker still strands the one task it holds.
+type WorkQueue struct{}
+
+// Name implements Scheduler.
+func (WorkQueue) Name() string { return "work-queue" }
+
+// Run implements Scheduler.
+func (WorkQueue) Run(p *Pool, tasks []Task) Report {
+	board := newTaskBoard(len(tasks))
+	before := snapshotUnits(p)
+	start := time.Now()
+	ch := make(chan Task, len(tasks))
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	for _, w := range p.Workers() {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for t := range ch {
+				board.execute(w, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return Report{
+		Scheduler:      "work-queue",
+		Makespan:       time.Since(start),
+		Tasks:          len(tasks),
+		PerWorkerUnits: perWorkerUnits(p, before),
+	}
+}
+
+// speculative is the shared engine behind Hedged and Reissue: a pull
+// queue plus a duplication rule. cloneWhenIdle clones the oldest
+// unclaimed in-flight task when a worker has nothing else to do (hedged
+// tail execution); cloneOnTimeout watches in-flight ages and requeues
+// tasks that exceed factor x the median completed duration (Shasha-Turek
+// slow-down reissue). MaxClones bounds duplication per task.
+type speculative struct {
+	name           string
+	cloneWhenIdle  bool
+	cloneOnTimeout bool
+	timeoutFactor  float64
+	maxClones      int
+}
+
+type inflightEntry struct {
+	task    Task
+	started time.Time
+	clones  int
+}
+
+func (s speculative) Run(p *Pool, tasks []Task) Report {
+	board := newTaskBoard(len(tasks))
+	before := snapshotUnits(p)
+	start := time.Now()
+
+	var mu sync.Mutex
+	pending := make([]Task, len(tasks))
+	copy(pending, tasks)
+	inflight := make(map[int]*inflightEntry)
+	var durations []float64 // seconds of completed executions
+
+	// next returns the next task to run, or ok=false when the runner
+	// should exit (everything claimed or soon will be).
+	next := func() (Task, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for len(pending) > 0 {
+			t := pending[0]
+			pending = pending[1:]
+			if board.claimed[t.ID].Load() {
+				continue
+			}
+			if inflight[t.ID] == nil {
+				inflight[t.ID] = &inflightEntry{task: t, started: time.Now()}
+			}
+			// A pending entry that is already in flight is a monitor
+			// requeue; its clone budget was charged when it was enqueued.
+			return t, true
+		}
+		if s.cloneWhenIdle {
+			// Clone the oldest unclaimed in-flight task with clone budget.
+			var best *inflightEntry
+			for _, e := range inflight {
+				if board.claimed[e.task.ID].Load() || e.clones >= s.maxClones {
+					continue
+				}
+				if best == nil || e.started.Before(best.started) {
+					best = e
+				}
+			}
+			if best != nil {
+				best.clones++
+				board.dups.Add(1)
+				return best.task, true
+			}
+		}
+		return Task{}, false
+	}
+
+	finish := func(t Task, won bool, took time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if won {
+			durations = append(durations, took.Seconds())
+			delete(inflight, t.ID)
+		}
+	}
+
+	stop := make(chan struct{})
+	if s.cloneOnTimeout {
+		go func() {
+			tick := time.NewTicker(p.Quantum() * 10)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					mu.Lock()
+					if len(durations) >= 3 {
+						med := stats.Median(durations)
+						limit := time.Duration(s.timeoutFactor * med * float64(time.Second))
+						for _, e := range inflight {
+							if e.clones < s.maxClones &&
+								!board.claimed[e.task.ID].Load() &&
+								time.Since(e.started) > limit {
+								e.clones++
+								board.dups.Add(1)
+								pending = append(pending, e.task)
+							}
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range p.Workers() {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for {
+				if board.done() {
+					return
+				}
+				t, ok := next()
+				if !ok {
+					if board.done() {
+						return
+					}
+					time.Sleep(p.Quantum())
+					continue
+				}
+				t0 := time.Now()
+				won := board.execute(w, t)
+				finish(t, won, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	return Report{
+		Scheduler:      s.name,
+		Makespan:       time.Since(start),
+		Tasks:          len(tasks),
+		PerWorkerUnits: perWorkerUnits(p, before),
+		WastedUnits:    board.wasted.Load(),
+		Duplicates:     board.dups.Load(),
+	}
+}
+
+// Hedged is a work queue with tail cloning: when the queue is empty, idle
+// workers re-execute the oldest unclaimed in-flight task, bounding the
+// job on a straggler's last task. MaxClones bounds per-task duplication
+// (default 1 extra copy).
+type Hedged struct {
+	MaxClones int
+}
+
+// Name implements Scheduler.
+func (Hedged) Name() string { return "hedged" }
+
+// Run implements Scheduler.
+func (h Hedged) Run(p *Pool, tasks []Task) Report {
+	mc := h.MaxClones
+	if mc <= 0 {
+		mc = 1
+	}
+	return speculative{name: "hedged", cloneWhenIdle: true, maxClones: mc}.Run(p, tasks)
+}
+
+// Reissue implements Shasha & Turek's response to slow-down failures:
+// monitor in-flight executions, and when one exceeds TimeoutFactor x the
+// median completed duration, issue the work again elsewhere; an atomic
+// completion claim reconciles duplicates. Unlike Hedged it acts even
+// while other work remains, trading duplication for tail latency.
+type Reissue struct {
+	TimeoutFactor float64
+	MaxClones     int
+}
+
+// Name implements Scheduler.
+func (Reissue) Name() string { return "reissue" }
+
+// Run implements Scheduler.
+func (r Reissue) Run(p *Pool, tasks []Task) Report {
+	tf := r.TimeoutFactor
+	if tf <= 0 {
+		tf = 3
+	}
+	mc := r.MaxClones
+	if mc <= 0 {
+		mc = 1
+	}
+	return speculative{
+		name: "reissue", cloneWhenIdle: true, cloneOnTimeout: true,
+		timeoutFactor: tf, maxClones: mc,
+	}.Run(p, tasks)
+}
+
+// DetectAvoid is the fail-stutter-model scheduler: static per-worker
+// queues (the low-overhead design), plus a peer-relative detector
+// sampling each worker's throughput; when a worker is flagged as
+// performance-faulty its backlog migrates to healthy workers. It
+// demonstrates the model's detect -> notify -> adapt loop rather than
+// relying on pull-based placement.
+type DetectAvoid struct {
+	// SampleEvery is the detector's sampling period (default 10 quanta).
+	SampleEvery time.Duration
+	// Threshold is the peer-relative rate fraction below which a worker
+	// is flagged (default 0.5).
+	Threshold float64
+}
+
+// Name implements Scheduler.
+func (DetectAvoid) Name() string { return "detect-avoid" }
+
+// Run implements Scheduler.
+func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
+	thr := d.Threshold
+	if thr <= 0 {
+		thr = 0.5
+	}
+	sample := d.SampleEvery
+	if sample <= 0 {
+		sample = 10 * p.Quantum()
+	}
+	board := newTaskBoard(len(tasks))
+	before := snapshotUnits(p)
+	start := time.Now()
+
+	n := p.Size()
+	var mu sync.Mutex
+	queues := make([][]Task, n)
+	for i := range queues {
+		lo := i * len(tasks) / n
+		hi := (i + 1) * len(tasks) / n
+		queues[i] = append(queues[i], tasks[lo:hi]...)
+	}
+	flagged := make([]bool, n)
+	slowStreak := make([]int, n)
+
+	pop := func(i int) (Task, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(queues[i]) == 0 {
+			return Task{}, false
+		}
+		t := queues[i][0]
+		queues[i] = queues[i][1:]
+		return t, true
+	}
+
+	// Detector: peer-relative throughput comparison, exactly the
+	// PeerSet policy but on wall-clock counters.
+	stop := make(chan struct{})
+	go func() {
+		last := snapshotUnits(p)
+		tick := time.NewTicker(sample)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				cur := snapshotUnits(p)
+				rates := make([]float64, n)
+				for i := range rates {
+					rates[i] = float64(cur[i] - last[i])
+				}
+				last = cur
+				med := stats.Median(rates)
+				if med <= 0 {
+					continue
+				}
+				mu.Lock()
+				for i := range rates {
+					if flagged[i] {
+						continue
+					}
+					// Require consecutive slow samples with a real backlog
+					// before flagging: single-sample noise (and workers
+					// that simply finished) must not trigger migration.
+					if rates[i] >= thr*med || len(queues[i]) == 0 {
+						slowStreak[i] = 0
+						continue
+					}
+					slowStreak[i]++
+					if slowStreak[i] < 2 {
+						continue
+					}
+					flagged[i] = true
+					// Migrate the stutterer's backlog to healthy workers,
+					// round-robin. With no healthy destination the backlog
+					// stays put — a degraded worker is still better than
+					// no worker.
+					var dsts []int
+					for d := 0; d < n; d++ {
+						if d != i && !flagged[d] {
+							dsts = append(dsts, d)
+						}
+					}
+					if len(dsts) > 0 {
+						backlog := queues[i]
+						queues[i] = nil
+						for j, t := range backlog {
+							dst := dsts[j%len(dsts)]
+							queues[dst] = append(queues[dst], t)
+						}
+					}
+					break // at most one migration per tick keeps this simple
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i, w := range p.Workers() {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			for {
+				t, ok := pop(i)
+				if !ok {
+					if board.done() {
+						return
+					}
+					// Idle but the job is unfinished (e.g. a flagged
+					// worker still holds work, or migration is pending):
+					// nap briefly and re-check.
+					time.Sleep(p.Quantum())
+					continue
+				}
+				board.execute(w, t)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	close(stop)
+	return Report{
+		Scheduler:      "detect-avoid",
+		Makespan:       time.Since(start),
+		Tasks:          len(tasks),
+		PerWorkerUnits: perWorkerUnits(p, before),
+	}
+}
+
+// Schedulers returns the standard comparison set used by the experiments,
+// ordered from least to most fail-stutter aware.
+func Schedulers() []Scheduler {
+	return []Scheduler{
+		StaticPartition{},
+		GaugedPartition{},
+		WorkQueue{},
+		Hedged{},
+		Reissue{},
+		DetectAvoid{},
+	}
+}
+
+// GaugedPartition is the scenario-2 analogue for compute: measure each
+// worker's speed once with a probe task, then partition proportionally.
+// Correct for static speed differences, broken by anything dynamic.
+type GaugedPartition struct {
+	// ProbeUnits is the per-worker microbenchmark size (default 20).
+	ProbeUnits int
+}
+
+// Name implements Scheduler.
+func (GaugedPartition) Name() string { return "gauged-partition" }
+
+// Run implements Scheduler.
+func (g GaugedPartition) Run(p *Pool, tasks []Task) Report {
+	probe := g.ProbeUnits
+	if probe <= 0 {
+		probe = 20
+	}
+	// Gauge all workers in parallel.
+	speeds := make([]float64, p.Size())
+	var gw sync.WaitGroup
+	for i, w := range p.Workers() {
+		gw.Add(1)
+		go func(i int, w *Worker) {
+			defer gw.Done()
+			t0 := time.Now()
+			w.runUnits(probe, nil)
+			speeds[i] = float64(probe) / time.Since(t0).Seconds()
+		}(i, w)
+	}
+	gw.Wait()
+
+	board := newTaskBoard(len(tasks))
+	before := snapshotUnits(p)
+	start := time.Now()
+	// Proportional contiguous split by measured speed.
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	var wg sync.WaitGroup
+	idx := 0
+	for i, w := range p.Workers() {
+		count := int(float64(len(tasks)) * speeds[i] / total)
+		if i == p.Size()-1 {
+			count = len(tasks) - idx
+		}
+		if idx+count > len(tasks) {
+			count = len(tasks) - idx
+		}
+		chunk := tasks[idx : idx+count]
+		idx += count
+		wg.Add(1)
+		go func(w *Worker, chunk []Task) {
+			defer wg.Done()
+			for _, t := range chunk {
+				board.execute(w, t)
+			}
+		}(w, chunk)
+	}
+	wg.Wait()
+	return Report{
+		Scheduler:      "gauged-partition",
+		Makespan:       time.Since(start),
+		Tasks:          len(tasks),
+		PerWorkerUnits: perWorkerUnits(p, before),
+	}
+}
+
+// SortReports orders reports by makespan, fastest first — a convenience
+// for experiment tables.
+func SortReports(rs []Report) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Makespan < rs[j].Makespan })
+}

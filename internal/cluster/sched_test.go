@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func sumUnits(r Report) int64 {
+	var s int64
+	for _, u := range r.PerWorkerUnits {
+		s += u
+	}
+	return s
+}
+
+func TestUniformTasks(t *testing.T) {
+	ts := UniformTasks(5, 7)
+	if len(ts) != 5 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	for i, task := range ts {
+		if task.ID != i || task.Units != 7 {
+			t.Fatalf("task %d = %+v", i, task)
+		}
+	}
+}
+
+func TestStaticPartitionCompletesAll(t *testing.T) {
+	p := NewPool(4, q)
+	tasks := UniformTasks(40, 5)
+	r := StaticPartition{}.Run(p, tasks)
+	if r.Tasks != 40 {
+		t.Fatalf("tasks = %d", r.Tasks)
+	}
+	if got := sumUnits(r); got != 200 {
+		t.Fatalf("units executed = %d, want 200", got)
+	}
+	if r.WastedUnits != 0 || r.Duplicates != 0 {
+		t.Fatalf("static run wasted %d / dup %d", r.WastedUnits, r.Duplicates)
+	}
+}
+
+func TestWorkQueueCompletesAll(t *testing.T) {
+	p := NewPool(4, q)
+	r := WorkQueue{}.Run(p, UniformTasks(40, 5))
+	if got := sumUnits(r); got != 200 {
+		t.Fatalf("units executed = %d, want 200", got)
+	}
+}
+
+// The paper's headline compute claim (NOW-Sort, E15): one slow node halves
+// a statically partitioned job, while a pull-based design sheds the
+// imbalance.
+func TestWorkQueueBeatsStaticUnderSlowWorker(t *testing.T) {
+	run := func(s Scheduler) time.Duration {
+		p := NewPool(4, q)
+		p.Workers()[0].SetSpeed(0.2)
+		// Tasks must cost well over the ~1 ms sleep floor at nominal
+		// speed, or the floor flattens every speed ratio.
+		return s.Run(p, UniformTasks(60, 40)).Makespan
+	}
+	static := run(StaticPartition{})
+	queue := run(WorkQueue{})
+	if queue*2 > static {
+		t.Fatalf("work queue %v not clearly faster than static %v under a slow worker",
+			queue, static)
+	}
+}
+
+func TestGaugedPartitionHandlesStaticSkew(t *testing.T) {
+	run := func(s Scheduler) time.Duration {
+		p := NewPool(4, q)
+		p.Workers()[0].SetSpeed(0.25)
+		return s.Run(p, UniformTasks(60, 40)).Makespan
+	}
+	static := run(StaticPartition{})
+	gauged := run(GaugedPartition{ProbeUnits: 40})
+	if gauged*3 > static*2 {
+		t.Fatalf("gauged %v not clearly faster than static %v under static skew",
+			gauged, static)
+	}
+}
+
+func TestHedgedClonesTail(t *testing.T) {
+	// One worker stalls completely mid-run. Hedged must still finish (the
+	// stranded task is cloned; the stalled execution aborts on claim).
+	p := NewPool(4, q)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		p.Workers()[0].SetSpeed(0)
+	}()
+	done := make(chan Report, 1)
+	go func() { done <- Hedged{}.Run(p, UniformTasks(60, 10)) }()
+	select {
+	case r := <-done:
+		if r.Duplicates == 0 {
+			t.Fatal("hedged run cloned nothing despite a stalled worker")
+		}
+		p.Workers()[0].SetSpeed(1) // release the aborting goroutine
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged run hung on a stalled worker")
+	}
+}
+
+func TestReissueBeatsWorkQueueUnderMidJobStall(t *testing.T) {
+	run := func(s Scheduler) time.Duration {
+		p := NewPool(4, q)
+		// Worker 0 drops to 2% speed 10 ms in and stays degraded.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			p.Workers()[0].SetSpeed(0.02)
+		}()
+		r := s.Run(p, UniformTasks(60, 20))
+		return r.Makespan
+	}
+	queue := run(WorkQueue{})
+	reissue := run(Reissue{TimeoutFactor: 3})
+	if reissue*3 > queue*2 {
+		t.Fatalf("reissue %v not clearly faster than work queue %v under a degraded straggler",
+			reissue, queue)
+	}
+}
+
+func TestReissueExactlyOnceAccounting(t *testing.T) {
+	p := NewPool(4, q)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		p.Workers()[0].SetSpeed(0.05)
+	}()
+	totalUnits := int64(60 * 10)
+	r := Reissue{TimeoutFactor: 2}.Run(p, UniformTasks(60, 10))
+	p.Workers()[0].SetSpeed(1)
+	// Work conservation: executed units = required units + wasted units.
+	if got := sumUnits(r); got != totalUnits+r.WastedUnits {
+		t.Fatalf("executed %d != required %d + wasted %d", got, totalUnits, r.WastedUnits)
+	}
+}
+
+func TestDetectAvoidMigratesFromStutterer(t *testing.T) {
+	run := func(s Scheduler) time.Duration {
+		p := NewPool(4, q)
+		p.Workers()[0].SetSpeed(0.1)
+		return s.Run(p, UniformTasks(60, 40)).Makespan
+	}
+	static := run(StaticPartition{})
+	da := run(DetectAvoid{})
+	if da*2 > static {
+		t.Fatalf("detect-avoid %v not clearly faster than static %v", da, static)
+	}
+}
+
+func TestDetectAvoidNoFalseMigrationWhenHealthy(t *testing.T) {
+	p := NewPool(4, q)
+	r := DetectAvoid{}.Run(p, UniformTasks(40, 5))
+	if got := sumUnits(r); got != 200 {
+		t.Fatalf("units executed = %d, want 200", got)
+	}
+	// With all workers healthy the split should stay roughly even.
+	for i, u := range r.PerWorkerUnits {
+		if u < 20 || u > 80 {
+			t.Fatalf("healthy run units badly skewed: worker %d did %d of 200", i, u)
+		}
+	}
+}
+
+func TestSchedulersListOrdered(t *testing.T) {
+	ss := Schedulers()
+	if len(ss) != 6 {
+		t.Fatalf("scheduler set = %d entries", len(ss))
+	}
+	if ss[0].Name() != "static-partition" || ss[len(ss)-1].Name() != "detect-avoid" {
+		t.Fatalf("unexpected ordering: %s .. %s", ss[0].Name(), ss[len(ss)-1].Name())
+	}
+}
+
+func TestSortReports(t *testing.T) {
+	rs := []Report{
+		{Scheduler: "b", Makespan: 2 * time.Second},
+		{Scheduler: "a", Makespan: time.Second},
+	}
+	SortReports(rs)
+	if rs[0].Scheduler != "a" {
+		t.Fatalf("sorted = %v", rs)
+	}
+}

@@ -1,0 +1,149 @@
+// Package cluster implements a real-concurrency (goroutine-based)
+// distributed runtime exhibiting and tolerating fail-stutter faults: a
+// pool of workers with injectable per-worker slowdowns and stalls, five
+// scheduling policies of increasing stutter-awareness (static partition,
+// pull-based work queue, hedged tail execution, Shasha-Turek slow-down
+// reissue, and detect-and-avoid migration), and a replicated hash table
+// whose nodes suffer garbage-collection pauses, after Gribble et al.
+//
+// Unlike the device substrate, nothing here runs on virtual time: workers
+// are goroutines metering work in small real-time quanta, so the
+// algorithms face true concurrency, preemption, and timer noise. All
+// experiment assertions on this package are therefore ratio-based with
+// generous margins.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Worker is one compute node: it executes abstract work units, each
+// costing Quantum/speed of wall-clock time. Speed is adjustable at any
+// moment from other goroutines — the injection point for CPU hogs,
+// stutter, and crashes (speed permanently 0 is indistinguishable from a
+// very long stall, matching the model's view that a stall beyond T *is* a
+// failure).
+type Worker struct {
+	id      int
+	quantum time.Duration
+
+	speedBits atomic.Uint64 // float64 bits
+	unitsDone atomic.Int64
+	tasksDone atomic.Int64
+}
+
+// NewWorker builds a worker with the given id and work-unit quantum at
+// speed 1.
+func NewWorker(id int, quantum time.Duration) *Worker {
+	if quantum <= 0 {
+		panic("cluster: quantum must be positive")
+	}
+	w := &Worker{id: id, quantum: quantum}
+	w.speedBits.Store(math.Float64bits(1))
+	return w
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// Speed returns the current speed multiplier.
+func (w *Worker) Speed() float64 { return math.Float64frombits(w.speedBits.Load()) }
+
+// SetSpeed sets the speed multiplier; zero stalls the worker. Negative or
+// non-finite speeds panic.
+func (w *Worker) SetSpeed(s float64) {
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("cluster: invalid speed %v", s))
+	}
+	w.speedBits.Store(math.Float64bits(s))
+}
+
+// UnitsDone returns the cumulative work units executed — the counter
+// detectors probe.
+func (w *Worker) UnitsDone() int64 { return w.unitsDone.Load() }
+
+// TasksDone returns completed task executions (including executions that
+// later lost the completion race).
+func (w *Worker) TasksDone() int64 { return w.tasksDone.Load() }
+
+// minSleep is the shortest span worth handing to time.Sleep: OS timer
+// granularity makes shorter sleeps wildly inaccurate, so sub-minSleep
+// unit costs are accumulated as debt and paid in batches.
+const minSleep = time.Millisecond
+
+// runUnits executes up to units work units, polling abort (if non-nil)
+// and the current speed between units; it returns the number of units
+// actually executed. Per-unit costs below the sleep granularity are
+// batched through a debt accumulator, so wall-clock time tracks
+// units/speed closely without per-unit timer noise. A stalled worker naps
+// in small slices so it notices both speed recovery and aborts promptly.
+func (w *Worker) runUnits(units int, abort func() bool) int {
+	var debt time.Duration
+	pay := func() {
+		if debt > 0 {
+			time.Sleep(debt)
+			debt = 0
+		}
+	}
+	for u := 0; u < units; u++ {
+		if abort != nil && abort() {
+			pay()
+			return u
+		}
+		sp := w.Speed()
+		for sp == 0 {
+			pay()
+			time.Sleep(minSleep)
+			if abort != nil && abort() {
+				return u
+			}
+			sp = w.Speed()
+		}
+		debt += time.Duration(float64(w.quantum) / sp)
+		if debt >= minSleep {
+			pay()
+		}
+		w.unitsDone.Add(1)
+	}
+	pay()
+	return units
+}
+
+// Pool is a set of workers sharing one quantum.
+type Pool struct {
+	workers []*Worker
+	quantum time.Duration
+}
+
+// NewPool builds n workers with the given quantum.
+func NewPool(n int, quantum time.Duration) *Pool {
+	if n < 1 {
+		panic("cluster: pool needs at least one worker")
+	}
+	p := &Pool{quantum: quantum}
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, NewWorker(i, quantum))
+	}
+	return p
+}
+
+// Workers returns the pool members.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Quantum returns the pool's work-unit quantum.
+func (p *Pool) Quantum() time.Duration { return p.quantum }
+
+// Hog degrades worker i to the given speed for the given duration, then
+// restores it — the "competing job" interference of the survey's NOW-Sort
+// observation. It returns immediately; the restore happens on a timer.
+func (p *Pool) Hog(i int, speed float64, d time.Duration) {
+	w := p.workers[i]
+	w.SetSpeed(speed)
+	time.AfterFunc(d, func() { w.SetSpeed(1) })
+}

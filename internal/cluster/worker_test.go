@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const q = 50 * time.Microsecond
+
+func TestWorkerExecutesUnits(t *testing.T) {
+	w := NewWorker(0, q)
+	t0 := time.Now()
+	n := w.runUnits(100, nil)
+	elapsed := time.Since(t0)
+	if n != 100 {
+		t.Fatalf("ran %d units", n)
+	}
+	if w.UnitsDone() != 100 {
+		t.Fatalf("UnitsDone = %d", w.UnitsDone())
+	}
+	// 100 units at 50us each = 5ms minimum; sleeping overshoots, never
+	// undershoots.
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("100 units took %v, impossibly fast", elapsed)
+	}
+}
+
+func TestWorkerSpeedScales(t *testing.T) {
+	slow := NewWorker(0, q)
+	slow.SetSpeed(0.25)
+	fast := NewWorker(1, q)
+	fast.SetSpeed(2)
+	t0 := time.Now()
+	slow.runUnits(50, nil)
+	slowTime := time.Since(t0)
+	t0 = time.Now()
+	fast.runUnits(50, nil)
+	fastTime := time.Since(t0)
+	// Nominal: slow 10ms, fast 1.25ms. Sleep overhead compresses the
+	// ratio; it must still be clearly ordered.
+	if slowTime < 2*fastTime {
+		t.Fatalf("slow %v vs fast %v: speed scaling ineffective", slowTime, fastTime)
+	}
+}
+
+func TestWorkerStallAndResume(t *testing.T) {
+	w := NewWorker(0, q)
+	w.SetSpeed(0)
+	done := make(chan struct{})
+	go func() {
+		w.runUnits(10, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stalled worker made progress")
+	case <-time.After(5 * time.Millisecond):
+	}
+	w.SetSpeed(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("worker did not resume")
+	}
+}
+
+func TestWorkerAbort(t *testing.T) {
+	w := NewWorker(0, q)
+	var stop atomic.Bool
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		stop.Store(true)
+	}()
+	n := w.runUnits(100000, stop.Load)
+	if n >= 100000 {
+		t.Fatal("abort ignored")
+	}
+}
+
+func TestWorkerAbortWhileStalled(t *testing.T) {
+	w := NewWorker(0, q)
+	w.SetSpeed(0)
+	var stop atomic.Bool
+	done := make(chan int)
+	go func() { done <- w.runUnits(10, stop.Load) }()
+	time.Sleep(2 * time.Millisecond)
+	stop.Store(true)
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("stalled worker ran %d units", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("abort did not release stalled worker")
+	}
+}
+
+func TestWorkerInvalidSpeedPanics(t *testing.T) {
+	w := NewWorker(0, q)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative speed did not panic")
+		}
+	}()
+	w.SetSpeed(-1)
+}
+
+func TestPoolHogRestores(t *testing.T) {
+	p := NewPool(2, q)
+	p.Hog(1, 0.1, 5*time.Millisecond)
+	if s := p.Workers()[1].Speed(); s != 0.1 {
+		t.Fatalf("hogged speed = %v", s)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if s := p.Workers()[1].Speed(); s != 1 {
+		t.Fatalf("speed after hog = %v", s)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty pool did not panic")
+		}
+	}()
+	NewPool(0, q)
+}

@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+func benchWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i%7) + 1
+	}
+	return w
+}
+
+func BenchmarkProportionalShares16(b *testing.B) {
+	w := benchWeights(16)
+	for i := 0; i < b.N; i++ {
+		ProportionalShares(10000, w)
+	}
+}
+
+func BenchmarkProportionalShares256(b *testing.B) {
+	w := benchWeights(256)
+	for i := 0; i < b.N; i++ {
+		ProportionalShares(100000, w)
+	}
+}
+
+func BenchmarkMinMakespanAssign64(b *testing.B) {
+	w := benchWeights(64)
+	for i := 0; i < b.N; i++ {
+		MinMakespanAssign(50000, w)
+	}
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"failstutter/internal/core"
+)
+
+// ProportionalShares implements the paper's scenario-2 arithmetic: stripe
+// blocks across mirror pairs in proportion to their gauged rates.
+func ExampleProportionalShares() {
+	gaugedRates := []float64{1.0, 1.0, 1.0, 0.25} // three healthy pairs, one slow
+	shares := core.ProportionalShares(1300, gaugedRates)
+	fmt.Println(shares)
+	// Output:
+	// [400 400 400 100]
+}
+
+// MinMakespanAssign refines the proportional split so the slowest finish
+// time is minimized with integral blocks.
+func ExampleMinMakespanAssign() {
+	counts := core.MinMakespanAssign(100, []float64{10, 10, 5})
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Println(counts, total)
+	// Output:
+	// [40 40 20] 100
+}

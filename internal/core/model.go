@@ -1,0 +1,186 @@
+// Package core formalizes the fail-stutter fault model of Arpaci-Dusseau &
+// Arpaci-Dusseau (HotOS 2001) and provides the controller that wires its
+// three ingredients together:
+//
+//  1. separation of performance faults from correctness faults
+//     (spec.Verdict: Nominal / PerfFaulty / AbsoluteFaulty, with the
+//     promotion threshold T resolving "arbitrarily slow");
+//  2. selective notification of persistent performance state
+//     (detect.Registry, with a configurable publication policy);
+//  3. per-component performance specifications (internal/spec) and the
+//     detectors that evaluate them (internal/detect).
+//
+// It also provides the proportional-share placement arithmetic used by
+// the adaptive storage and scheduling designs of Section 3.2.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"failstutter/internal/detect"
+	"failstutter/internal/sim"
+	"failstutter/internal/spec"
+	"failstutter/internal/trace"
+)
+
+// ComponentID identifies a monitored component.
+type ComponentID = string
+
+// NotifyPolicy selects which verdict transitions are published to the
+// registry — the design axis of experiment E19.
+type NotifyPolicy int
+
+const (
+	// NotifyPersistent publishes only transitions that survive the
+	// component's hysteresis filter (the paper's recommendation).
+	NotifyPersistent NotifyPolicy = iota
+	// NotifyEvery publishes every raw verdict change, including
+	// single-sample blips; cheap to implement, expensive on the wire.
+	NotifyEvery
+)
+
+// String returns the policy name.
+func (p NotifyPolicy) String() string {
+	switch p {
+	case NotifyPersistent:
+		return "persistent"
+	case NotifyEvery:
+		return "every"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// AttachConfig configures monitoring for one component.
+type AttachConfig struct {
+	// Interval is the probe sampling period, seconds.
+	Interval sim.Duration
+	// Detector judges the component's rate stream. Required.
+	Detector detect.Detector
+	// Policy selects raw or debounced publication. With NotifyPersistent,
+	// EnterAfter/ExitAfter configure the hysteresis streaks (defaulting to
+	// 3 and 3).
+	Policy     NotifyPolicy
+	EnterAfter int
+	ExitAfter  int
+	// Record, when true, keeps every rate sample in a trace.Series
+	// retrievable via Controller.Series — the observability the paper's
+	// "measurement of existing systems" agenda requires.
+	Record bool
+}
+
+// Controller is the fail-stutter control plane for a set of simulated
+// components: it probes work counters, runs detectors, and publishes
+// classifications to a shared registry that placement policies consult.
+type Controller struct {
+	s        *sim.Simulator
+	registry *detect.Registry
+	watched  map[ComponentID]*watch
+}
+
+type watch struct {
+	det    detect.Detector
+	probe  *detect.Probe
+	series *trace.Series
+}
+
+// NewController builds a controller publishing into its own registry.
+func NewController(s *sim.Simulator) *Controller {
+	return &Controller{
+		s:        s,
+		registry: detect.NewRegistry(),
+		watched:  make(map[ComponentID]*watch),
+	}
+}
+
+// Registry exposes the notification plane.
+func (c *Controller) Registry() *detect.Registry { return c.registry }
+
+// Watch attaches monitoring to a component identified by id, sampling the
+// given cumulative work counter. It panics on duplicate ids or a missing
+// detector — both are wiring bugs.
+func (c *Controller) Watch(id ComponentID, counter func() float64, cfg AttachConfig) {
+	if _, dup := c.watched[id]; dup {
+		panic(fmt.Sprintf("core: component %q watched twice", id))
+	}
+	if cfg.Detector == nil {
+		panic(fmt.Sprintf("core: component %q has no detector", id))
+	}
+	if cfg.Interval <= 0 {
+		panic(fmt.Sprintf("core: component %q has non-positive probe interval", id))
+	}
+	det := cfg.Detector
+	if cfg.Policy == NotifyPersistent {
+		enter, exit := cfg.EnterAfter, cfg.ExitAfter
+		if enter == 0 {
+			enter = 3
+		}
+		if exit == 0 {
+			exit = 3
+		}
+		det = detect.NewHysteresis(det, enter, exit)
+	}
+	w := &watch{det: det}
+	if cfg.Record {
+		w.series = &trace.Series{}
+	}
+	w.probe = detect.NewProbe(c.s, cfg.Interval, counter, func(now, rate float64) {
+		if w.series != nil {
+			w.series.Add(now, rate)
+		}
+		det.Observe(now, rate)
+		c.registry.Update(now, id, det.Verdict(now))
+	})
+	c.watched[id] = w
+}
+
+// Series returns the recorded rate samples for a component watched with
+// Record set, or nil otherwise.
+func (c *Controller) Series(id ComponentID) *trace.Series {
+	if w := c.watched[id]; w != nil {
+		return w.series
+	}
+	return nil
+}
+
+// WatchRate attaches monitoring where the caller computes each rate
+// sample itself — needed when the meaningful rate is not a simple counter
+// delta (e.g. service speed = bytes per busy-second, which distinguishes
+// a slow component from an idle one). sample is invoked once per
+// interval with the current time and must return the rate to judge.
+func (c *Controller) WatchRate(id ComponentID, sample func(now float64) float64, cfg AttachConfig) {
+	// Reuse Watch's probe scheduling by wrapping the sampler as a
+	// synthetic cumulative counter: integrating the sampled rate over
+	// time lets the probe's delta/interval recover the sample exactly.
+	integral := 0.0
+	lastT := c.s.Now()
+	c.Watch(id, func() float64 {
+		now := c.s.Now()
+		if now > lastT {
+			integral += sample(now) * (now - lastT)
+			lastT = now
+		}
+		return integral
+	}, cfg)
+}
+
+// State returns the current published classification for a component.
+func (c *Controller) State(id ComponentID) spec.Verdict { return c.registry.State(id) }
+
+// Stop halts all probes.
+func (c *Controller) Stop() {
+	for _, w := range c.watched {
+		w.probe.Stop()
+	}
+}
+
+// Watched returns the monitored component ids, sorted.
+func (c *Controller) Watched() []ComponentID {
+	ids := make([]ComponentID, 0, len(c.watched))
+	for id := range c.watched {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProportionalShares splits total units across recipients in proportion to
+// their weights, using the largest-remainder method so the result is exact
+// (shares sum to total) and each share is within one unit of its ideal
+// fraction. A recipient with zero weight receives nothing unless every
+// weight is zero, in which case the split is even — a storage controller
+// must place blocks somewhere even when gauging has not converged.
+//
+// This is the arithmetic behind the paper's scenario-2/3 designs: "use the
+// ratios to stripe data proportionally across the mirror-pairs".
+func ProportionalShares(total int64, weights []float64) []int64 {
+	if total < 0 {
+		panic(fmt.Sprintf("core: negative total %d", total))
+	}
+	n := len(weights)
+	if n == 0 {
+		panic("core: no recipients")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("core: invalid weight %v at %d", w, i))
+		}
+		sum += w
+	}
+	shares := make([]int64, n)
+	if sum == 0 {
+		// Even split with remainder to the earliest recipients.
+		base := total / int64(n)
+		rem := total % int64(n)
+		for i := range shares {
+			shares[i] = base
+			if int64(i) < rem {
+				shares[i]++
+			}
+		}
+		return shares
+	}
+	type frac struct {
+		idx  int
+		frac float64
+	}
+	assigned := int64(0)
+	fracs := make([]frac, n)
+	for i, w := range weights {
+		ideal := float64(total) * w / sum
+		fl := math.Floor(ideal)
+		shares[i] = int64(fl)
+		assigned += shares[i]
+		fracs[i] = frac{idx: i, frac: ideal - fl}
+	}
+	// Hand out the remainder by largest fractional part, index order on
+	// ties for determinism.
+	rem := total - assigned
+	for k := int64(0); k < rem; k++ {
+		best := -1
+		for i := range fracs {
+			if fracs[i].frac < 0 {
+				continue
+			}
+			if best < 0 || fracs[i].frac > fracs[best].frac {
+				best = i
+			}
+		}
+		shares[fracs[best].idx]++
+		fracs[best].frac = -1
+	}
+	return shares
+}
+
+// MinMakespanAssign assigns n identical unit tasks to servers with the
+// given rates so the slowest finish time is minimized; with divisible
+// work this is exactly proportional, and for integral blocks greedy
+// water-filling is optimal: repeatedly give the next block to the server
+// whose completion time after the block is smallest. Returns per-server
+// counts. Rates must be positive; a zero-rate server gets nothing (unless
+// all are zero, which panics: no progress is possible).
+func MinMakespanAssign(n int64, rates []float64) []int64 {
+	if len(rates) == 0 {
+		panic("core: no servers")
+	}
+	counts := make([]int64, len(rates))
+	anyPositive := false
+	for _, r := range rates {
+		if r > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		panic("core: all server rates are zero")
+	}
+	if n == 0 {
+		return counts
+	}
+	// Start from the proportional split, then fix up with greedy moves —
+	// proportional is within one block of optimal per server, so at most a
+	// few adjustments occur and the common case is O(n_servers log) work.
+	counts = ProportionalShares(n, rates)
+	finish := func(i int) float64 {
+		if rates[i] == 0 {
+			if counts[i] == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return float64(counts[i]) / rates[i]
+	}
+	for {
+		// Move a block from the worst-finishing server to the best if it
+		// strictly improves the makespan.
+		worst, best := 0, 0
+		for i := range rates {
+			if finish(i) > finish(worst) {
+				worst = i
+			}
+			if rates[i] > 0 && (rates[best] == 0 || (float64(counts[i])+1)/rates[i] < (float64(counts[best])+1)/rates[best]) {
+				best = i
+			}
+		}
+		if counts[worst] == 0 || rates[best] == 0 {
+			break
+		}
+		newBestFinish := (float64(counts[best]) + 1) / rates[best]
+		if newBestFinish >= finish(worst) {
+			break
+		}
+		counts[worst]--
+		counts[best]++
+	}
+	return counts
+}

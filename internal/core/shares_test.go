@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionalSharesExact(t *testing.T) {
+	shares := ProportionalShares(100, []float64{1, 1, 2})
+	want := []int64{25, 25, 50}
+	for i := range want {
+		if shares[i] != want[i] {
+			t.Fatalf("shares = %v, want %v", shares, want)
+		}
+	}
+}
+
+func TestProportionalSharesRemainder(t *testing.T) {
+	shares := ProportionalShares(10, []float64{1, 1, 1})
+	sum := int64(0)
+	for _, s := range shares {
+		sum += s
+	}
+	if sum != 10 {
+		t.Fatalf("shares %v sum to %d", shares, sum)
+	}
+	for _, s := range shares {
+		if s < 3 || s > 4 {
+			t.Fatalf("uneven split: %v", shares)
+		}
+	}
+}
+
+func TestProportionalSharesZeroWeight(t *testing.T) {
+	shares := ProportionalShares(10, []float64{1, 0, 1})
+	if shares[1] != 0 {
+		t.Fatalf("zero-weight recipient got %d", shares[1])
+	}
+	if shares[0]+shares[2] != 10 {
+		t.Fatalf("shares = %v", shares)
+	}
+}
+
+func TestProportionalSharesAllZeroWeightsEvenSplit(t *testing.T) {
+	shares := ProportionalShares(10, []float64{0, 0, 0})
+	sum := int64(0)
+	for _, s := range shares {
+		sum += s
+		if s < 3 || s > 4 {
+			t.Fatalf("uneven fallback split: %v", shares)
+		}
+	}
+	if sum != 10 {
+		t.Fatalf("fallback shares sum to %d", sum)
+	}
+}
+
+func TestProportionalSharesPanics(t *testing.T) {
+	cases := []func(){
+		func() { ProportionalShares(-1, []float64{1}) },
+		func() { ProportionalShares(1, nil) },
+		func() { ProportionalShares(1, []float64{-1}) },
+		func() { ProportionalShares(1, []float64{math.NaN()}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Properties: shares sum to total and each share is within 1 of ideal.
+func TestProportionalSharesProperty(t *testing.T) {
+	f := func(total16 uint16, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		total := int64(total16 % 10000)
+		weights := make([]float64, len(raw))
+		sum := 0.0
+		for i, v := range raw {
+			weights[i] = float64(v)
+			sum += weights[i]
+		}
+		shares := ProportionalShares(total, weights)
+		var got int64
+		for _, s := range shares {
+			got += s
+		}
+		if got != total {
+			return false
+		}
+		if sum == 0 {
+			return true
+		}
+		for i, s := range shares {
+			ideal := float64(total) * weights[i] / sum
+			if math.Abs(float64(s)-ideal) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMakespanAssignBasic(t *testing.T) {
+	counts := MinMakespanAssign(100, []float64{10, 10, 5})
+	if counts[0]+counts[1]+counts[2] != 100 {
+		t.Fatalf("counts %v do not sum", counts)
+	}
+	// Makespan should equal ceil-ish of 100/25 = 4 time units.
+	worst := 0.0
+	rates := []float64{10, 10, 5}
+	for i, c := range counts {
+		f := float64(c) / rates[i]
+		if f > worst {
+			worst = f
+		}
+	}
+	if worst > 4.2 {
+		t.Fatalf("makespan %v too large for counts %v", worst, counts)
+	}
+}
+
+func TestMinMakespanZeroRateServerGetsNothing(t *testing.T) {
+	counts := MinMakespanAssign(10, []float64{5, 0})
+	if counts[1] != 0 {
+		t.Fatalf("dead server got %d blocks", counts[1])
+	}
+	if counts[0] != 10 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMinMakespanAllZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("all-zero rates did not panic")
+		}
+	}()
+	MinMakespanAssign(10, []float64{0, 0})
+}
+
+func TestMinMakespanZeroTasks(t *testing.T) {
+	counts := MinMakespanAssign(0, []float64{1, 2})
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// Property: the assignment's makespan never exceeds the fluid (divisible)
+// makespan by more than one block on the slowest server — the integrality
+// gap bound for unit blocks.
+func TestMinMakespanNearOptimalProperty(t *testing.T) {
+	f := func(n16 uint16, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := int64(n16 % 2000)
+		rates := make([]float64, 0, len(raw))
+		sum := 0.0
+		minRate := math.Inf(1)
+		for _, v := range raw {
+			r := float64(v%20) + 1
+			rates = append(rates, r)
+			sum += r
+			if r < minRate {
+				minRate = r
+			}
+		}
+		counts := MinMakespanAssign(n, rates)
+		var got int64
+		worst := 0.0
+		for i, c := range counts {
+			got += c
+			f := float64(c) / rates[i]
+			if f > worst {
+				worst = f
+			}
+		}
+		if got != n {
+			return false
+		}
+		fluid := float64(n) / sum
+		return worst <= fluid+1/minRate+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"testing"
+
+	"failstutter/internal/spec"
+)
+
+func BenchmarkSpecDetectorObserve(b *testing.B) {
+	d := NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.3, PromotionTimeout: 10})
+	for i := 0; i < b.N; i++ {
+		d.Observe(float64(i), 100)
+	}
+}
+
+func BenchmarkEWMADetectorObserve(b *testing.B) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.4, SlowAlpha: 0.02, Threshold: 0.7})
+	for i := 0; i < b.N; i++ {
+		d.Observe(float64(i), 100)
+	}
+}
+
+func BenchmarkWindowDetectorObserveVerdict(b *testing.B) {
+	d := NewWindowDetector(WindowConfig{BaselineSamples: 32, RecentSamples: 16, Threshold: 0.7})
+	for i := 0; i < b.N; i++ {
+		now := float64(i)
+		d.Observe(now, 100)
+		d.Verdict(now)
+	}
+}
+
+func BenchmarkTrendDetectorObserveVerdict(b *testing.B) {
+	d := NewTrendDetector(TrendConfig{WindowSamples: 20, DeclineFrac: 0.1})
+	for i := 0; i < b.N; i++ {
+		now := float64(i)
+		d.Observe(now, 100)
+		d.Verdict(now)
+	}
+}
+
+func BenchmarkPeerSetVerdict(b *testing.B) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 8, Threshold: 0.7, MinPeers: 4})
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, id := range ids {
+		for k := 0; k < 8; k++ {
+			p.Observe(id, float64(k), 100+float64(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Verdict(ids[i%len(ids)], 10)
+	}
+}

@@ -1,0 +1,351 @@
+// Package detect implements stutter detection: the statistical machinery
+// that turns a stream of per-component rate observations into the
+// fail-stutter model's classifications (nominal, performance-faulty,
+// absolutely failed).
+//
+// Detectors come in three flavours, ablated against each other in the
+// experiment suite:
+//
+//   - SpecDetector compares against an absolute performance specification
+//     (internal/spec);
+//   - EWMADetector compares a component against its own smoothed history,
+//     needing no a-priori spec;
+//   - PeerSet compares each component against the median of its peers,
+//     which stays quiet when the whole fleet shifts together (a workload
+//     change) and fires only on divergent components.
+//
+// Hysteresis wraps any detector to distinguish persistent faults from
+// transient blips; only persistent transitions need to be published, per
+// the paper's notification discussion ("erratic performance may occur
+// quite frequently, and thus distributing that information may be overly
+// expensive").
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"failstutter/internal/spec"
+	"failstutter/internal/stats"
+)
+
+// Detector consumes (time, rate) observations for one component and
+// classifies it.
+type Detector interface {
+	// Observe records the component's service rate at the given time.
+	// Times must be non-decreasing.
+	Observe(now, rate float64)
+	// Verdict classifies the component as of the given time.
+	Verdict(now float64) spec.Verdict
+}
+
+// SpecDetector classifies against an absolute performance specification.
+type SpecDetector struct {
+	tracker *spec.Tracker
+}
+
+// NewSpecDetector builds a detector for the given spec.
+func NewSpecDetector(s spec.Spec) *SpecDetector {
+	return &SpecDetector{tracker: spec.NewTracker(s)}
+}
+
+// Observe implements Detector.
+func (d *SpecDetector) Observe(now, rate float64) { d.tracker.Observe(now, rate) }
+
+// Verdict implements Detector.
+func (d *SpecDetector) Verdict(now float64) spec.Verdict { return d.tracker.Verdict(now) }
+
+// Deficit exposes the tracked shortfall fraction.
+func (d *SpecDetector) Deficit() float64 { return d.tracker.Deficit() }
+
+// EWMAConfig parameterizes an EWMADetector.
+type EWMAConfig struct {
+	// FastAlpha smooths the recent-rate estimate (higher = more reactive).
+	FastAlpha float64
+	// SlowAlpha smooths the long-term baseline (lower = steadier).
+	SlowAlpha float64
+	// Threshold is the fraction of baseline below which the component is
+	// performance-faulty, e.g. 0.7.
+	Threshold float64
+	// PromotionTimeout is T: continuous zero rate longer than this is an
+	// absolute fault. Zero disables promotion.
+	PromotionTimeout float64
+}
+
+// Validate checks the configuration.
+func (c EWMAConfig) Validate() error {
+	switch {
+	case c.FastAlpha <= 0 || c.FastAlpha > 1:
+		return fmt.Errorf("detect: fast alpha %v outside (0,1]", c.FastAlpha)
+	case c.SlowAlpha <= 0 || c.SlowAlpha > 1:
+		return fmt.Errorf("detect: slow alpha %v outside (0,1]", c.SlowAlpha)
+	case c.SlowAlpha > c.FastAlpha:
+		return fmt.Errorf("detect: slow alpha %v exceeds fast alpha %v", c.SlowAlpha, c.FastAlpha)
+	case c.Threshold <= 0 || c.Threshold >= 1:
+		return fmt.Errorf("detect: threshold %v outside (0,1)", c.Threshold)
+	case c.PromotionTimeout < 0:
+		return fmt.Errorf("detect: negative promotion timeout")
+	}
+	return nil
+}
+
+// EWMADetector flags a component whose fast-smoothed rate falls below a
+// fraction of its own slow-smoothed baseline. It needs no absolute spec,
+// so it tolerates heterogeneous hardware — but it also normalizes slow
+// drift into the baseline, which the ablation experiments quantify.
+type EWMADetector struct {
+	cfg          EWMAConfig
+	fast         *stats.EWMA
+	slow         *stats.EWMA
+	lastProgress float64
+	sawAnything  bool
+}
+
+// NewEWMADetector validates cfg and builds the detector.
+func NewEWMADetector(cfg EWMAConfig) *EWMADetector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &EWMADetector{
+		cfg:  cfg,
+		fast: stats.NewEWMA(cfg.FastAlpha),
+		slow: stats.NewEWMA(cfg.SlowAlpha),
+	}
+}
+
+// Observe implements Detector.
+func (d *EWMADetector) Observe(now, rate float64) {
+	if !d.sawAnything {
+		d.lastProgress = now
+		d.sawAnything = true
+	}
+	d.fast.Observe(rate)
+	// The baseline only absorbs healthy observations: folding stall samples
+	// into it would erode the reference the detector compares against.
+	if rate > 0 {
+		d.slow.Observe(rate)
+		d.lastProgress = now
+	}
+}
+
+// Verdict implements Detector.
+func (d *EWMADetector) Verdict(now float64) spec.Verdict {
+	if !d.sawAnything || !d.slow.Initialized() {
+		return spec.Nominal
+	}
+	if d.cfg.PromotionTimeout > 0 && now-d.lastProgress > d.cfg.PromotionTimeout {
+		return spec.AbsoluteFaulty
+	}
+	if d.fast.Value() < d.cfg.Threshold*d.slow.Value() {
+		return spec.PerfFaulty
+	}
+	return spec.Nominal
+}
+
+// Baseline returns the slow-smoothed reference rate (NaN before data).
+func (d *EWMADetector) Baseline() float64 { return d.slow.Value() }
+
+// Recent returns the fast-smoothed recent rate (NaN before data).
+func (d *EWMADetector) Recent() float64 { return d.fast.Value() }
+
+// WindowConfig parameterizes a WindowDetector.
+type WindowConfig struct {
+	// BaselineSamples is how many initial samples form the gauged
+	// baseline (its median becomes the reference).
+	BaselineSamples int
+	// RecentSamples is the sliding-window length compared against the
+	// baseline.
+	RecentSamples int
+	// Threshold is the fraction of baseline-median below which the recent
+	// median is performance-faulty.
+	Threshold float64
+	// PromotionTimeout promotes sustained silence; zero disables.
+	PromotionTimeout float64
+}
+
+// WindowDetector gauges a baseline once (install-time gauging, the
+// paper's scenario-2 design) and compares a recent sliding median against
+// it. Robust to single-sample noise; blind to slow baseline drift by
+// construction, which is exactly what scenario 2's failure mode requires.
+type WindowDetector struct {
+	cfg          WindowConfig
+	baseline     []float64
+	baselineMed  float64
+	recent       *stats.Window
+	lastProgress float64
+	sawAnything  bool
+}
+
+// NewWindowDetector validates cfg and builds the detector.
+func NewWindowDetector(cfg WindowConfig) *WindowDetector {
+	if cfg.BaselineSamples < 1 || cfg.RecentSamples < 1 ||
+		cfg.Threshold <= 0 || cfg.Threshold >= 1 || cfg.PromotionTimeout < 0 {
+		panic(fmt.Sprintf("detect: invalid window config %+v", cfg))
+	}
+	return &WindowDetector{cfg: cfg, recent: stats.NewWindow(cfg.RecentSamples)}
+}
+
+// Observe implements Detector.
+func (d *WindowDetector) Observe(now, rate float64) {
+	if !d.sawAnything {
+		d.lastProgress = now
+		d.sawAnything = true
+	}
+	if rate > 0 {
+		d.lastProgress = now
+	}
+	if len(d.baseline) < d.cfg.BaselineSamples {
+		d.baseline = append(d.baseline, rate)
+		if len(d.baseline) == d.cfg.BaselineSamples {
+			d.baselineMed = stats.Median(d.baseline)
+		}
+		return
+	}
+	d.recent.Observe(rate)
+}
+
+// Gauged reports whether the baseline has been established.
+func (d *WindowDetector) Gauged() bool { return len(d.baseline) == d.cfg.BaselineSamples }
+
+// Baseline returns the gauged reference rate (NaN before gauging).
+func (d *WindowDetector) Baseline() float64 {
+	if !d.Gauged() {
+		return math.NaN()
+	}
+	return d.baselineMed
+}
+
+// Verdict implements Detector.
+func (d *WindowDetector) Verdict(now float64) spec.Verdict {
+	if !d.sawAnything {
+		return spec.Nominal
+	}
+	if d.cfg.PromotionTimeout > 0 && now-d.lastProgress > d.cfg.PromotionTimeout {
+		return spec.AbsoluteFaulty
+	}
+	if !d.Gauged() || d.recent.Len() == 0 {
+		return spec.Nominal
+	}
+	if d.recent.Median() < d.cfg.Threshold*d.baselineMed {
+		return spec.PerfFaulty
+	}
+	return spec.Nominal
+}
+
+// PeerConfig parameterizes a PeerSet.
+type PeerConfig struct {
+	// WindowSamples is the per-component sliding window length.
+	WindowSamples int
+	// Threshold is the fraction of the peer median below which a
+	// component is performance-faulty.
+	Threshold float64
+	// MinPeers is the minimum fleet size before any verdicts are issued
+	// (comparing against too few peers is meaningless).
+	MinPeers int
+	// PromotionTimeout promotes sustained silence; zero disables.
+	PromotionTimeout float64
+}
+
+// PeerSet classifies each component of a fleet against the median of its
+// peers' recent rates. A fleet-wide slowdown (workload shift, shared
+// bottleneck) moves the median too, so nothing is flagged; only divergent
+// components fire — the property ablation A3 measures.
+type PeerSet struct {
+	cfg     PeerConfig
+	members map[string]*peerMember
+}
+
+type peerMember struct {
+	window       *stats.Window
+	lastProgress float64
+	sawAnything  bool
+}
+
+// NewPeerSet validates cfg and builds an empty fleet.
+func NewPeerSet(cfg PeerConfig) *PeerSet {
+	if cfg.WindowSamples < 1 || cfg.Threshold <= 0 || cfg.Threshold >= 1 ||
+		cfg.MinPeers < 2 || cfg.PromotionTimeout < 0 {
+		panic(fmt.Sprintf("detect: invalid peer config %+v", cfg))
+	}
+	return &PeerSet{cfg: cfg, members: make(map[string]*peerMember)}
+}
+
+// Observe records a rate sample for the named component.
+func (p *PeerSet) Observe(id string, now, rate float64) {
+	m := p.members[id]
+	if m == nil {
+		m = &peerMember{window: stats.NewWindow(p.cfg.WindowSamples)}
+		p.members[id] = m
+	}
+	if !m.sawAnything {
+		m.lastProgress = now
+		m.sawAnything = true
+	}
+	if rate > 0 {
+		m.lastProgress = now
+	}
+	m.window.Observe(rate)
+}
+
+// Members returns the component ids in sorted order.
+func (p *PeerSet) Members() []string {
+	ids := make([]string, 0, len(p.members))
+	for id := range p.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// peerMedian computes the median of all members' recent medians,
+// excluding the named component.
+func (p *PeerSet) peerMedian(exclude string) float64 {
+	meds := make([]float64, 0, len(p.members))
+	for id, m := range p.members {
+		if id == exclude || m.window.Len() == 0 {
+			continue
+		}
+		meds = append(meds, m.window.Median())
+	}
+	if len(meds) == 0 {
+		return math.NaN()
+	}
+	return stats.Median(meds)
+}
+
+// Verdict classifies the named component as of the given time.
+func (p *PeerSet) Verdict(id string, now float64) spec.Verdict {
+	m := p.members[id]
+	if m == nil || !m.sawAnything {
+		return spec.Nominal
+	}
+	if p.cfg.PromotionTimeout > 0 && now-m.lastProgress > p.cfg.PromotionTimeout {
+		return spec.AbsoluteFaulty
+	}
+	if len(p.members) < p.cfg.MinPeers || m.window.Len() == 0 {
+		return spec.Nominal
+	}
+	ref := p.peerMedian(id)
+	if math.IsNaN(ref) {
+		return spec.Nominal
+	}
+	if m.window.Median() < p.cfg.Threshold*ref {
+		return spec.PerfFaulty
+	}
+	return spec.Nominal
+}
+
+// ComponentDetector adapts one member of a PeerSet to the Detector
+// interface.
+func (p *PeerSet) ComponentDetector(id string) Detector {
+	return &peerAdapter{set: p, id: id}
+}
+
+type peerAdapter struct {
+	set *PeerSet
+	id  string
+}
+
+func (a *peerAdapter) Observe(now, rate float64)        { a.set.Observe(a.id, now, rate) }
+func (a *peerAdapter) Verdict(now float64) spec.Verdict { return a.set.Verdict(a.id, now) }

@@ -1,0 +1,260 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"failstutter/internal/spec"
+)
+
+func feedConstant(d Detector, from, to, step, rate float64) float64 {
+	now := from
+	for ; now <= to; now += step {
+		d.Observe(now, rate)
+	}
+	return now - step
+}
+
+func TestSpecDetector(t *testing.T) {
+	d := NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2, PromotionTimeout: 10})
+	d.Observe(0, 100)
+	if v := d.Verdict(1); v != spec.Nominal {
+		t.Fatalf("verdict = %v", v)
+	}
+	d.Observe(2, 50)
+	if v := d.Verdict(3); v != spec.PerfFaulty {
+		t.Fatalf("verdict = %v", v)
+	}
+	if d.Deficit() != 0.5 {
+		t.Fatalf("deficit = %v", d.Deficit())
+	}
+	d.Observe(4, 0)
+	if v := d.Verdict(20); v != spec.AbsoluteFaulty {
+		t.Fatalf("promotion missing: %v", v)
+	}
+}
+
+func TestEWMAConfigValidate(t *testing.T) {
+	bad := []EWMAConfig{
+		{FastAlpha: 0, SlowAlpha: 0.1, Threshold: 0.5},
+		{FastAlpha: 0.5, SlowAlpha: 0, Threshold: 0.5},
+		{FastAlpha: 0.1, SlowAlpha: 0.5, Threshold: 0.5}, // slow > fast
+		{FastAlpha: 0.5, SlowAlpha: 0.1, Threshold: 1},
+		{FastAlpha: 0.5, SlowAlpha: 0.1, Threshold: 0.5, PromotionTimeout: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	good := EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.05, Threshold: 0.7, PromotionTimeout: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestEWMADetectorFlagsDrop(t *testing.T) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.02, Threshold: 0.7})
+	now := feedConstant(d, 0, 50, 1, 100)
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("healthy verdict = %v", v)
+	}
+	// Sustained 50% drop: fast EWMA tracks down quickly, slow baseline
+	// lags, detector fires.
+	for i := 0; i < 10; i++ {
+		now++
+		d.Observe(now, 50)
+	}
+	if v := d.Verdict(now); v != spec.PerfFaulty {
+		t.Fatalf("dropped verdict = %v (recent %v baseline %v)", v, d.Recent(), d.Baseline())
+	}
+}
+
+func TestEWMADetectorIgnoresSingleBlip(t *testing.T) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.2, SlowAlpha: 0.02, Threshold: 0.6})
+	now := feedConstant(d, 0, 50, 1, 100)
+	now++
+	d.Observe(now, 40) // one bad sample: fast moves to 88, above 0.6*baseline
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("single blip fired detector: %v", v)
+	}
+}
+
+func TestEWMADetectorPromotion(t *testing.T) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.05, Threshold: 0.7, PromotionTimeout: 5})
+	now := feedConstant(d, 0, 10, 1, 100)
+	for i := 0; i < 3; i++ {
+		now++
+		d.Observe(now, 0)
+	}
+	if v := d.Verdict(now + 10); v != spec.AbsoluteFaulty {
+		t.Fatalf("silent component not promoted: %v", v)
+	}
+}
+
+func TestEWMADetectorRecovery(t *testing.T) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.05, Threshold: 0.7})
+	now := feedConstant(d, 0, 30, 1, 100)
+	for i := 0; i < 5; i++ {
+		now++
+		d.Observe(now, 30)
+	}
+	if v := d.Verdict(now); v != spec.PerfFaulty {
+		t.Fatalf("not faulty during drop: %v", v)
+	}
+	for i := 0; i < 20; i++ {
+		now++
+		d.Observe(now, 100)
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("did not recover: %v", v)
+	}
+}
+
+func TestEWMADetectorBeforeData(t *testing.T) {
+	d := NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.05, Threshold: 0.7})
+	if v := d.Verdict(100); v != spec.Nominal {
+		t.Fatalf("unobserved verdict = %v", v)
+	}
+}
+
+func TestWindowDetectorGaugeThenDetect(t *testing.T) {
+	d := NewWindowDetector(WindowConfig{BaselineSamples: 10, RecentSamples: 5, Threshold: 0.7})
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		d.Observe(now, 100)
+		now++
+	}
+	if !d.Gauged() {
+		t.Fatal("not gauged after baseline samples")
+	}
+	if d.Baseline() != 100 {
+		t.Fatalf("baseline = %v", d.Baseline())
+	}
+	for i := 0; i < 5; i++ {
+		d.Observe(now, 100)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("healthy verdict = %v", v)
+	}
+	for i := 0; i < 5; i++ {
+		d.Observe(now, 40)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.PerfFaulty {
+		t.Fatalf("degraded verdict = %v", v)
+	}
+}
+
+func TestWindowDetectorMedianRobustness(t *testing.T) {
+	d := NewWindowDetector(WindowConfig{BaselineSamples: 4, RecentSamples: 5, Threshold: 0.7})
+	now := 0.0
+	for i := 0; i < 4; i++ {
+		d.Observe(now, 100)
+		now++
+	}
+	// Two outliers in a window of five: median still healthy.
+	for _, r := range []float64{100, 0, 100, 0, 100} {
+		d.Observe(now, r)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("minority outliers fired detector: %v", v)
+	}
+}
+
+func TestWindowDetectorUngaugedNominal(t *testing.T) {
+	d := NewWindowDetector(WindowConfig{BaselineSamples: 100, RecentSamples: 5, Threshold: 0.7})
+	d.Observe(0, 10)
+	if v := d.Verdict(1); v != spec.Nominal {
+		t.Fatalf("ungauged verdict = %v", v)
+	}
+	if !math.IsNaN(d.Baseline()) {
+		t.Fatal("ungauged baseline not NaN")
+	}
+}
+
+func TestPeerSetFlagsDivergentMember(t *testing.T) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 5, Threshold: 0.6, MinPeers: 3})
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		p.Observe("a", now, 100)
+		p.Observe("b", now, 100)
+		p.Observe("c", now, 100)
+		p.Observe("slow", now, 30)
+		now++
+	}
+	if v := p.Verdict("slow", now); v != spec.PerfFaulty {
+		t.Fatalf("divergent member verdict = %v", v)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if v := p.Verdict(id, now); v != spec.Nominal {
+			t.Fatalf("healthy member %s verdict = %v", id, v)
+		}
+	}
+}
+
+func TestPeerSetQuietOnFleetWideShift(t *testing.T) {
+	// The key property: when the whole fleet slows (workload change), no
+	// one is flagged.
+	p := NewPeerSet(PeerConfig{WindowSamples: 5, Threshold: 0.6, MinPeers: 3})
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		for _, id := range []string{"a", "b", "c", "d"} {
+			p.Observe(id, now, 100)
+		}
+		now++
+	}
+	for i := 0; i < 10; i++ {
+		for _, id := range []string{"a", "b", "c", "d"} {
+			p.Observe(id, now, 20) // everyone slowed 5x together
+		}
+		now++
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if v := p.Verdict(id, now); v != spec.Nominal {
+			t.Fatalf("fleet-wide shift flagged %s: %v", id, v)
+		}
+	}
+}
+
+func TestPeerSetTooFewPeers(t *testing.T) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 3, Threshold: 0.6, MinPeers: 3})
+	p.Observe("a", 0, 100)
+	p.Observe("b", 0, 10)
+	if v := p.Verdict("b", 1); v != spec.Nominal {
+		t.Fatalf("verdict with too few peers = %v", v)
+	}
+}
+
+func TestPeerSetPromotion(t *testing.T) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 3, Threshold: 0.6, MinPeers: 2, PromotionTimeout: 5})
+	p.Observe("a", 0, 100)
+	p.Observe("b", 0, 100)
+	p.Observe("b", 1, 0)
+	p.Observe("b", 2, 0)
+	if v := p.Verdict("b", 20); v != spec.AbsoluteFaulty {
+		t.Fatalf("silent peer not promoted: %v", v)
+	}
+}
+
+func TestPeerSetMembersSorted(t *testing.T) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 3, Threshold: 0.6, MinPeers: 2})
+	p.Observe("z", 0, 1)
+	p.Observe("a", 0, 1)
+	m := p.Members()
+	if len(m) != 2 || m[0] != "a" || m[1] != "z" {
+		t.Fatalf("members = %v", m)
+	}
+}
+
+func TestPeerAdapterImplementsDetector(t *testing.T) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 3, Threshold: 0.6, MinPeers: 2})
+	var d Detector = p.ComponentDetector("x")
+	d.Observe(0, 100)
+	p.Observe("y", 0, 100)
+	if v := d.Verdict(1); v != spec.Nominal {
+		t.Fatalf("adapter verdict = %v", v)
+	}
+}

@@ -1,0 +1,70 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"failstutter/internal/detect"
+	"failstutter/internal/spec"
+)
+
+// A spec detector with hysteresis: three consecutive bad samples report a
+// persistent performance fault; a single blip stays quiet.
+func ExampleNewHysteresis() {
+	det := detect.NewHysteresis(
+		detect.NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2}),
+		3, 3)
+
+	rates := []float64{100, 100, 40, 100, 40, 40, 40}
+	for i, r := range rates {
+		now := float64(i)
+		det.Observe(now, r)
+		fmt.Printf("t=%v rate=%v -> %v\n", now, r, det.Verdict(now))
+	}
+	// Output:
+	// t=0 rate=100 -> nominal
+	// t=1 rate=100 -> nominal
+	// t=2 rate=40 -> nominal
+	// t=3 rate=100 -> nominal
+	// t=4 rate=40 -> nominal
+	// t=5 rate=40 -> nominal
+	// t=6 rate=40 -> perf-faulty
+}
+
+// Peer-relative detection flags only the component that diverges from its
+// fleet, staying quiet when everyone shifts together.
+func ExampleNewPeerSet() {
+	peers := detect.NewPeerSet(detect.PeerConfig{
+		WindowSamples: 3, Threshold: 0.6, MinPeers: 3,
+	})
+	for t := 0.0; t < 5; t++ {
+		peers.Observe("a", t, 100)
+		peers.Observe("b", t, 100)
+		peers.Observe("c", t, 100)
+		peers.Observe("slow", t, 30)
+	}
+	for _, id := range peers.Members() {
+		fmt.Printf("%s: %v\n", id, peers.Verdict(id, 5))
+	}
+	// Output:
+	// a: nominal
+	// b: nominal
+	// c: nominal
+	// slow: perf-faulty
+}
+
+// The registry publishes only transitions, so steady state is free.
+func ExampleRegistry() {
+	reg := detect.NewRegistry()
+	reg.Subscribe(func(e detect.Event) {
+		fmt.Printf("t=%v %s: %v -> %v\n", e.At, e.Component, e.From, e.To)
+	})
+	reg.Update(1, "disk-0", spec.Nominal)    // no change: silent
+	reg.Update(2, "disk-0", spec.PerfFaulty) // published
+	reg.Update(3, "disk-0", spec.PerfFaulty) // unchanged: silent
+	reg.Update(4, "disk-0", spec.Nominal)    // published
+	fmt.Println("notifications:", reg.Notifications())
+	// Output:
+	// t=2 disk-0: nominal -> perf-faulty
+	// t=4 disk-0: perf-faulty -> nominal
+	// notifications: 2
+}

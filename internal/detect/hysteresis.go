@@ -1,0 +1,80 @@
+package detect
+
+import (
+	"fmt"
+
+	"failstutter/internal/spec"
+)
+
+// Hysteresis wraps a detector and suppresses transient verdicts: the
+// component is only *reported* performance-faulty after EnterAfter
+// consecutive faulty observations, and only restored after ExitAfter
+// consecutive nominal ones. This is the "persistent" filter the paper's
+// notification discussion calls for — short-lived blips stay local, only
+// sustained degradation is published.
+//
+// Absolute faults pass through immediately and latch: once a component is
+// absolutely failed it never recovers without explicit replacement.
+type Hysteresis struct {
+	inner      Detector
+	enterAfter int
+	exitAfter  int
+
+	faultyStreak  int
+	nominalStreak int
+	reported      spec.Verdict
+}
+
+// NewHysteresis wraps inner with the given streak requirements.
+func NewHysteresis(inner Detector, enterAfter, exitAfter int) *Hysteresis {
+	if enterAfter < 1 || exitAfter < 1 {
+		panic(fmt.Sprintf("detect: hysteresis streaks must be >= 1 (got %d, %d)", enterAfter, exitAfter))
+	}
+	return &Hysteresis{
+		inner:      inner,
+		enterAfter: enterAfter,
+		exitAfter:  exitAfter,
+		reported:   spec.Nominal,
+	}
+}
+
+// Observe implements Detector: it forwards the observation and advances
+// the streak state machine using the inner detector's instantaneous
+// verdict.
+func (h *Hysteresis) Observe(now, rate float64) {
+	h.inner.Observe(now, rate)
+	if h.reported == spec.AbsoluteFaulty {
+		return // latched
+	}
+	switch h.inner.Verdict(now) {
+	case spec.AbsoluteFaulty:
+		h.reported = spec.AbsoluteFaulty
+	case spec.PerfFaulty:
+		h.faultyStreak++
+		h.nominalStreak = 0
+		if h.reported == spec.Nominal && h.faultyStreak >= h.enterAfter {
+			h.reported = spec.PerfFaulty
+		}
+	case spec.Nominal:
+		h.nominalStreak++
+		h.faultyStreak = 0
+		if h.reported == spec.PerfFaulty && h.nominalStreak >= h.exitAfter {
+			h.reported = spec.Nominal
+		}
+	}
+}
+
+// Verdict implements Detector, returning the debounced classification.
+func (h *Hysteresis) Verdict(now float64) spec.Verdict {
+	if h.reported == spec.AbsoluteFaulty {
+		return h.reported
+	}
+	// Promotion can also arrive between observations (pure silence).
+	if h.inner.Verdict(now) == spec.AbsoluteFaulty {
+		h.reported = spec.AbsoluteFaulty
+	}
+	return h.reported
+}
+
+// Inner exposes the wrapped detector.
+func (h *Hysteresis) Inner() Detector { return h.inner }

@@ -1,0 +1,61 @@
+package detect
+
+import (
+	"fmt"
+
+	"failstutter/internal/sim"
+)
+
+// Probe periodically samples a cumulative work counter (bytes completed,
+// blocks written, tasks finished) on the simulation clock, converts the
+// delta to a rate, and feeds a sink — typically a Detector plus a
+// Registry update. It is how simulated components get watched without the
+// component knowing about detection.
+//
+// A probe reschedules itself forever (until Stop): simulations containing
+// probes must be driven with Simulator.RunUntil, not Run, which would
+// never drain the event queue.
+type Probe struct {
+	s        *sim.Simulator
+	interval sim.Duration
+	counter  func() float64
+	sink     func(now, rate float64)
+
+	last    float64
+	stopped bool
+	samples uint64
+}
+
+// NewProbe starts sampling immediately (first sample one interval from
+// now). counter must be monotonically non-decreasing.
+func NewProbe(s *sim.Simulator, interval sim.Duration, counter func() float64, sink func(now, rate float64)) *Probe {
+	if interval <= 0 {
+		panic(fmt.Sprintf("detect: probe interval %v must be positive", interval))
+	}
+	p := &Probe{s: s, interval: interval, counter: counter, sink: sink, last: counter()}
+	p.schedule()
+	return p
+}
+
+func (p *Probe) schedule() {
+	p.s.After(p.interval, func() {
+		if p.stopped {
+			return
+		}
+		cur := p.counter()
+		delta := cur - p.last
+		if delta < 0 {
+			panic("detect: probe counter decreased")
+		}
+		p.last = cur
+		p.samples++
+		p.sink(p.s.Now(), delta/p.interval)
+		p.schedule()
+	})
+}
+
+// Stop halts sampling after any in-flight tick.
+func (p *Probe) Stop() { p.stopped = true }
+
+// Samples returns the number of samples delivered so far.
+func (p *Probe) Samples() uint64 { return p.samples }

@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"sort"
+
+	"failstutter/internal/spec"
+)
+
+// Event records a published state transition for a component.
+type Event struct {
+	At        float64
+	Component string
+	From, To  spec.Verdict
+}
+
+// Registry is the notification plane of the fail-stutter model: components
+// (or their controllers) publish verdict changes; interested agents
+// subscribe. The registry counts notifications so experiments can compare
+// the cost of publishing every blip against publishing only persistent
+// transitions (experiment E19).
+type Registry struct {
+	states map[string]spec.Verdict
+	subs   []func(Event)
+	events []Event
+}
+
+// NewRegistry returns an empty registry; unknown components are nominal.
+func NewRegistry() *Registry {
+	return &Registry{states: make(map[string]spec.Verdict)}
+}
+
+// Subscribe registers a callback invoked on every published transition.
+func (r *Registry) Subscribe(fn func(Event)) { r.subs = append(r.subs, fn) }
+
+// Update publishes the component's verdict at the given time. Unchanged
+// verdicts are free: no event is recorded and no subscriber runs.
+func (r *Registry) Update(now float64, component string, v spec.Verdict) {
+	prev := r.states[component]
+	if prev == v {
+		return
+	}
+	r.states[component] = v
+	ev := Event{At: now, Component: component, From: prev, To: v}
+	r.events = append(r.events, ev)
+	for _, fn := range r.subs {
+		fn(ev)
+	}
+}
+
+// State returns the last published verdict for the component (nominal if
+// never published).
+func (r *Registry) State(component string) spec.Verdict { return r.states[component] }
+
+// Notifications returns the number of published transitions so far — the
+// notification traffic a real system would put on the wire.
+func (r *Registry) Notifications() uint64 { return uint64(len(r.events)) }
+
+// Events returns a copy of the published transitions in order.
+func (r *Registry) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Faulty returns the ids of components currently reported as other than
+// nominal, sorted.
+func (r *Registry) Faulty() []string {
+	var ids []string
+	for id, v := range r.states {
+		if v != spec.Nominal {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,95 @@
+package detect
+
+import (
+	"fmt"
+
+	"failstutter/internal/spec"
+	"failstutter/internal/stats"
+)
+
+// TrendConfig parameterizes a TrendDetector.
+type TrendConfig struct {
+	// WindowSamples is how many recent (time, rate) points the robust
+	// slope is fitted over.
+	WindowSamples int
+	// DeclineFrac is the sustained fractional decline per window that
+	// fires the detector: with 0.1, losing 10% of the window-median rate
+	// over one window span is a performance fault in the making.
+	DeclineFrac float64
+	// PromotionTimeout promotes sustained silence; zero disables.
+	PromotionTimeout float64
+}
+
+// TrendDetector flags components whose rate is *declining*, not merely
+// low: the Theil-Sen slope over a sliding window is compared against a
+// fraction of the window's median level. It is the "erratic performance
+// may be an early indicator of impending failure" detector — a healthy
+// but slow component never fires, a wearing-out component fires while
+// still inside its tolerance band, buying replacement lead time.
+type TrendDetector struct {
+	cfg          TrendConfig
+	times        *stats.Window
+	rates        *stats.Window
+	lastProgress float64
+	sawAnything  bool
+}
+
+// NewTrendDetector validates cfg and builds the detector.
+func NewTrendDetector(cfg TrendConfig) *TrendDetector {
+	if cfg.WindowSamples < 4 || cfg.DeclineFrac <= 0 || cfg.PromotionTimeout < 0 {
+		panic(fmt.Sprintf("detect: invalid trend config %+v", cfg))
+	}
+	return &TrendDetector{
+		cfg:   cfg,
+		times: stats.NewWindow(cfg.WindowSamples),
+		rates: stats.NewWindow(cfg.WindowSamples),
+	}
+}
+
+// Observe implements Detector.
+func (d *TrendDetector) Observe(now, rate float64) {
+	if !d.sawAnything {
+		d.lastProgress = now
+		d.sawAnything = true
+	}
+	if rate > 0 {
+		d.lastProgress = now
+	}
+	d.times.Observe(now)
+	d.rates.Observe(rate)
+}
+
+// Slope returns the current robust rate slope (units/s per second), or
+// NaN before the window fills.
+func (d *TrendDetector) Slope() float64 {
+	return stats.TheilSen(d.times.Values(), d.rates.Values())
+}
+
+// Verdict implements Detector.
+func (d *TrendDetector) Verdict(now float64) spec.Verdict {
+	if !d.sawAnything {
+		return spec.Nominal
+	}
+	if d.cfg.PromotionTimeout > 0 && now-d.lastProgress > d.cfg.PromotionTimeout {
+		return spec.AbsoluteFaulty
+	}
+	if !d.times.Full() {
+		return spec.Nominal
+	}
+	ts := d.times.Values()
+	span := ts[len(ts)-1] - ts[0]
+	if span <= 0 {
+		return spec.Nominal
+	}
+	level := d.rates.Median()
+	if level <= 0 {
+		return spec.PerfFaulty // the whole window is silence
+	}
+	slope := d.Slope()
+	// Fire when the fitted decline across one window span exceeds the
+	// configured fraction of the current level.
+	if -slope*span > d.cfg.DeclineFrac*level {
+		return spec.PerfFaulty
+	}
+	return spec.Nominal
+}

@@ -1,0 +1,134 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"failstutter/internal/sim"
+	"failstutter/internal/spec"
+)
+
+func trendDet() *TrendDetector {
+	// 20-sample window with a 15% per-window decline threshold: wide
+	// enough that 5% multiplicative noise cannot fire it (the Theil-Sen
+	// slope noise over 20 samples is an order of magnitude below the
+	// threshold), reactive enough to flag a steady ramp within a window.
+	return NewTrendDetector(TrendConfig{WindowSamples: 20, DeclineFrac: 0.15})
+}
+
+func TestTrendDetectorFlagsDecline(t *testing.T) {
+	d := trendDet()
+	now := 0.0
+	// Steady 100, then a persistent downward ramp.
+	for i := 0; i < 20; i++ {
+		d.Observe(now, 100)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("steady rate verdict = %v", v)
+	}
+	rate := 100.0
+	fired := false
+	for i := 0; i < 30; i++ {
+		rate -= 3
+		d.Observe(now, rate)
+		if d.Verdict(now) == spec.PerfFaulty {
+			fired = true
+			break
+		}
+		now++
+	}
+	if !fired {
+		t.Fatal("trend detector never fired on a steep decline")
+	}
+}
+
+func TestTrendDetectorIgnoresLowButStable(t *testing.T) {
+	// The whole point: a component that is merely SLOW (not declining)
+	// never fires — heterogeneous parts are tolerated.
+	d := trendDet()
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		d.Observe(now, 20) // far below any nominal spec, but flat
+		now++
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("flat-but-slow verdict = %v, want nominal", v)
+	}
+}
+
+func TestTrendDetectorToleratesNoise(t *testing.T) {
+	d := trendDet()
+	rng := sim.NewRNG(11)
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		d.Observe(now, 100*(1+rng.Norm(0, 0.05)))
+		if v := d.Verdict(now); v != spec.Nominal {
+			t.Fatalf("noise fired trend detector at sample %d: %v", i, v)
+		}
+		now++
+	}
+}
+
+func TestTrendDetectorRecovery(t *testing.T) {
+	d := trendDet()
+	now := 0.0
+	rate := 100.0
+	for i := 0; i < 22; i++ {
+		rate -= 3
+		d.Observe(now, rate)
+		now++
+	}
+	if d.Verdict(now) != spec.PerfFaulty {
+		t.Fatal("did not fire during decline")
+	}
+	// Rate stabilizes at the lower level: the decline is over.
+	for i := 0; i < 25; i++ {
+		d.Observe(now, rate)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.Nominal {
+		t.Fatalf("verdict after stabilization = %v, want nominal", v)
+	}
+}
+
+func TestTrendDetectorPromotion(t *testing.T) {
+	d := NewTrendDetector(TrendConfig{WindowSamples: 5, DeclineFrac: 0.1, PromotionTimeout: 5})
+	d.Observe(0, 100)
+	d.Observe(1, 0)
+	if v := d.Verdict(20); v != spec.AbsoluteFaulty {
+		t.Fatalf("silent component verdict = %v", v)
+	}
+}
+
+func TestTrendDetectorSilentWindow(t *testing.T) {
+	d := trendDet()
+	now := 0.0
+	for i := 0; i < 25; i++ {
+		d.Observe(now, 0)
+		now++
+	}
+	if v := d.Verdict(now); v != spec.PerfFaulty {
+		t.Fatalf("all-zero window verdict = %v, want perf-faulty", v)
+	}
+}
+
+func TestTrendDetectorSlopeBeforeFull(t *testing.T) {
+	d := trendDet()
+	d.Observe(0, 100)
+	if !math.IsNaN(d.Slope()) && d.Slope() != 0 {
+		// Theil-Sen of one point is NaN; just ensure no panic and nominal.
+	}
+	if v := d.Verdict(1); v != spec.Nominal {
+		t.Fatalf("partial-window verdict = %v", v)
+	}
+}
+
+func TestTrendDetectorInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	NewTrendDetector(TrendConfig{WindowSamples: 2, DeclineFrac: 0.1})
+}

@@ -1,0 +1,207 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheSpec describes a processor cache level.
+type CacheSpec struct {
+	// SizeKB is the nominal capacity.
+	SizeKB float64
+	// Assoc is the set associativity (1 = direct-mapped).
+	Assoc int
+	// MissPenaltyCycles is the stall cost of a miss.
+	MissPenaltyCycles float64
+	// ColdMissRate is the compulsory miss floor.
+	ColdMissRate float64
+	// LocalityFactor in (0, 1] scales capacity misses: real reference
+	// streams revisit hot lines, so only a fraction of accesses to the
+	// non-fitting portion of the working set actually miss. 1 models a
+	// scan with no reuse.
+	LocalityFactor float64
+}
+
+// CPUParams configures an analytic processor model. Fault masking — the
+// practice the paper documents on the Viking, PA-RISC, VAX and Univac
+// lines of shipping chips with portions of the cache disabled — is
+// expressed as MaskedFraction and MaskedAssoc: the *effective* cache a
+// "identical" part actually has.
+type CPUParams struct {
+	Name     string
+	ClockGHz float64
+	BaseCPI  float64
+	// MemRefsPerInstr is the fraction of instructions touching memory.
+	MemRefsPerInstr float64
+	Cache           CacheSpec
+	// MaskedFraction in [0, 1) is the share of cache capacity disabled by
+	// fault masking; 0 is a healthy part.
+	MaskedFraction float64
+	// MaskedAssoc, if positive, overrides associativity on the masked
+	// part (the Viking study found a 16 KB 4-way spec behaving as 4 KB
+	// direct-mapped).
+	MaskedAssoc int
+}
+
+// CPU is a deterministic analytic processor model: given an application
+// profile it predicts run time. Two CPUs with identical params except
+// masking reproduce the paper's "identical processors, different
+// performance" observation.
+type CPU struct {
+	p CPUParams
+}
+
+// NewCPU validates and builds the model.
+func NewCPU(p CPUParams) (*CPU, error) {
+	switch {
+	case p.ClockGHz <= 0 || p.BaseCPI <= 0:
+		return nil, fmt.Errorf("device: cpu %q needs positive clock and CPI", p.Name)
+	case p.MemRefsPerInstr < 0 || p.MemRefsPerInstr > 1:
+		return nil, fmt.Errorf("device: cpu %q mem refs per instr %v outside [0,1]", p.Name, p.MemRefsPerInstr)
+	case p.Cache.SizeKB <= 0 || p.Cache.Assoc < 1:
+		return nil, fmt.Errorf("device: cpu %q invalid cache %+v", p.Name, p.Cache)
+	case p.Cache.ColdMissRate < 0 || p.Cache.ColdMissRate >= 1:
+		return nil, fmt.Errorf("device: cpu %q cold miss rate %v outside [0,1)", p.Name, p.Cache.ColdMissRate)
+	case p.Cache.LocalityFactor <= 0 || p.Cache.LocalityFactor > 1:
+		return nil, fmt.Errorf("device: cpu %q locality factor %v outside (0,1]", p.Name, p.Cache.LocalityFactor)
+	case p.MaskedFraction < 0 || p.MaskedFraction >= 1:
+		return nil, fmt.Errorf("device: cpu %q masked fraction %v outside [0,1)", p.Name, p.MaskedFraction)
+	}
+	return &CPU{p: p}, nil
+}
+
+// MustCPU is NewCPU for static configurations.
+func MustCPU(p CPUParams) *CPU {
+	c, err := NewCPU(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the construction parameters.
+func (c *CPU) Params() CPUParams { return c.p }
+
+// EffectiveCacheKB returns the capacity after fault masking.
+func (c *CPU) EffectiveCacheKB() float64 {
+	return c.p.Cache.SizeKB * (1 - c.p.MaskedFraction)
+}
+
+// effectiveAssoc returns the associativity after masking.
+func (c *CPU) effectiveAssoc() int {
+	if c.p.MaskedFraction > 0 && c.p.MaskedAssoc > 0 {
+		return c.p.MaskedAssoc
+	}
+	return c.p.Cache.Assoc
+}
+
+// MissRate predicts the cache miss rate for a working set of the given
+// size: the compulsory floor, plus capacity misses for the portion of the
+// working set that does not fit, inflated for low associativity (conflict
+// misses).
+func (c *CPU) MissRate(workingSetKB float64) float64 {
+	if workingSetKB <= 0 {
+		return c.p.Cache.ColdMissRate
+	}
+	eff := c.EffectiveCacheKB()
+	capacity := 0.0
+	if workingSetKB > eff {
+		capacity = (workingSetKB - eff) / workingSetKB
+	}
+	// Conflict inflation: direct-mapped caches convert some hits to misses;
+	// 4-way and above approach the fully associative capacity model.
+	conflict := 1 + 0.5/float64(c.effectiveAssoc())
+	m := c.p.Cache.ColdMissRate +
+		(1-c.p.Cache.ColdMissRate)*math.Min(1, capacity*conflict*c.p.Cache.LocalityFactor)
+	return m
+}
+
+// AppProfile characterizes an application for the analytic model.
+type AppProfile struct {
+	Instructions float64
+	WorkingSetKB float64
+}
+
+// RunTime predicts execution time in seconds.
+func (c *CPU) RunTime(app AppProfile) float64 {
+	miss := c.MissRate(app.WorkingSetKB)
+	cpi := c.p.BaseCPI + c.p.MemRefsPerInstr*miss*c.p.Cache.MissPenaltyCycles
+	return app.Instructions * cpi / (c.p.ClockGHz * 1e9)
+}
+
+// MemorySystem is an analytic model of main memory under competing
+// applications, for the memory-hog experiments: when an out-of-core
+// process squeezes an interactive job's pages out, its accesses pay the
+// disk-service cost.
+type MemorySystem struct {
+	// TotalMB is physical memory.
+	TotalMB float64
+	// PageFaultStretch is the average slowdown of a memory access that
+	// must be served from disk, relative to a resident access.
+	PageFaultStretch float64
+}
+
+// ResponseStretch predicts the multiplicative slowdown of an interactive
+// job with the given working set when a hog keeps hogMB resident. With no
+// hog pressure the stretch is 1.
+func (m MemorySystem) ResponseStretch(interactiveWsMB, hogMB float64) float64 {
+	if interactiveWsMB <= 0 {
+		return 1
+	}
+	free := m.TotalMB - hogMB
+	if free < 0 {
+		free = 0
+	}
+	residentFrac := free / interactiveWsMB
+	if residentFrac > 1 {
+		residentFrac = 1
+	}
+	return residentFrac + (1-residentFrac)*m.PageFaultStretch
+}
+
+// FetchPredictor models the non-monotonic, effectively non-deterministic
+// run-time behaviour Kushman documented on the UltraSPARC-I: the
+// interaction of next-field prediction, fetch grouping and
+// branch-prediction state can make "a program, executed twice on the same
+// processor under identical conditions" run up to PathologyRange times
+// slower. Each execution draws a multiplier: most runs land near 1, a
+// minority hit the pathological alignments.
+type FetchPredictor struct {
+	// PathologyRange is the worst-case run-time multiplier (Kushman
+	// observed up to 3).
+	PathologyRange float64
+}
+
+// RunFactor returns the multiplier for one execution. The cubic skew
+// concentrates mass near 1 — pathologies are the tail, not the norm.
+func (f FetchPredictor) RunFactor(u float64) float64 {
+	if f.PathologyRange < 1 {
+		panic("device: pathology range must be >= 1")
+	}
+	if u < 0 || u >= 1 {
+		panic(fmt.Sprintf("device: RunFactor input %v outside [0,1)", u))
+	}
+	return 1 + (f.PathologyRange-1)*u*u*u
+}
+
+// VectorMemory models scalar-vector memory-bank interference (Raghavan &
+// Hayes): a vector stream achieves full efficiency alone; scalar
+// perturbations at the given per-access probability collide with busy
+// banks and stall the stream.
+type VectorMemory struct {
+	// BankBusyCycles is how long a bank is busy per access, in cycles; a
+	// conflicting access stalls for the remainder.
+	BankBusyCycles float64
+}
+
+// Efficiency returns delivered fraction of peak stream bandwidth for a
+// perturbation probability in [0, 1].
+func (v VectorMemory) Efficiency(perturbProb float64) float64 {
+	if perturbProb < 0 || perturbProb > 1 {
+		panic(fmt.Sprintf("device: perturbation probability %v outside [0,1]", perturbProb))
+	}
+	if v.BankBusyCycles < 1 {
+		panic("device: bank busy cycles must be >= 1")
+	}
+	return 1 / (1 + perturbProb*(v.BankBusyCycles-1))
+}

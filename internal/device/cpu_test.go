@@ -1,0 +1,204 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// vikingSpec models the paper's Viking example: a 16 KB 4-way L1 as
+// specified, versus a masked part behaving as 4 KB direct-mapped.
+func vikingSpec(masked bool) CPUParams {
+	p := CPUParams{
+		Name:            "viking",
+		ClockGHz:        0.05,
+		BaseCPI:         1.2,
+		MemRefsPerInstr: 0.25,
+		Cache: CacheSpec{
+			SizeKB:            16,
+			Assoc:             4,
+			MissPenaltyCycles: 20,
+			ColdMissRate:      0.01,
+			LocalityFactor:    0.12,
+		},
+	}
+	if masked {
+		p.MaskedFraction = 0.75 // 16 KB -> 4 KB
+		p.MaskedAssoc = 1       // direct-mapped
+	}
+	return p
+}
+
+func TestCPUValidation(t *testing.T) {
+	bad := []CPUParams{
+		{},
+		{ClockGHz: 1, BaseCPI: 1, MemRefsPerInstr: 2, Cache: CacheSpec{SizeKB: 8, Assoc: 1}},
+		{ClockGHz: 1, BaseCPI: 1, Cache: CacheSpec{SizeKB: 0, Assoc: 1}},
+		{ClockGHz: 1, BaseCPI: 1, Cache: CacheSpec{SizeKB: 8, Assoc: 1, ColdMissRate: 1}},
+		{ClockGHz: 1, BaseCPI: 1, Cache: CacheSpec{SizeKB: 8, Assoc: 1}, MaskedFraction: 1},
+	}
+	for i, p := range bad {
+		if _, err := NewCPU(p); err == nil {
+			t.Fatalf("bad cpu params %d accepted", i)
+		}
+	}
+	if _, err := NewCPU(vikingSpec(false)); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+}
+
+func TestCPUEffectiveCache(t *testing.T) {
+	healthy := MustCPU(vikingSpec(false))
+	masked := MustCPU(vikingSpec(true))
+	if healthy.EffectiveCacheKB() != 16 {
+		t.Fatalf("healthy effective = %v", healthy.EffectiveCacheKB())
+	}
+	if masked.EffectiveCacheKB() != 4 {
+		t.Fatalf("masked effective = %v", masked.EffectiveCacheKB())
+	}
+}
+
+func TestCPUMissRateShape(t *testing.T) {
+	c := MustCPU(vikingSpec(false))
+	if m := c.MissRate(8); m != c.Params().Cache.ColdMissRate {
+		t.Fatalf("fitting working set miss rate = %v, want cold floor", m)
+	}
+	if c.MissRate(32) <= c.MissRate(8) {
+		t.Fatal("overflowing working set not penalized")
+	}
+	if c.MissRate(64) > 1 || c.MissRate(64) < 0 {
+		t.Fatalf("miss rate out of range: %v", c.MissRate(64))
+	}
+}
+
+func TestCPUMaskedPartSlower(t *testing.T) {
+	healthy := MustCPU(vikingSpec(false))
+	masked := MustCPU(vikingSpec(true))
+	app := AppProfile{Instructions: 1e9, WorkingSetKB: 12}
+	th, tm := healthy.RunTime(app), masked.RunTime(app)
+	if tm <= th {
+		t.Fatalf("masked part not slower: %v vs %v", tm, th)
+	}
+	// The Viking study found application differences up to 40%; our model
+	// should land in a comparable band for a cache-resident-vs-not split.
+	ratio := tm / th
+	if ratio < 1.1 || ratio > 3 {
+		t.Fatalf("masked/healthy ratio = %v, want 1.1-3", ratio)
+	}
+}
+
+func TestCPUIdenticalWhenWorkingSetFits(t *testing.T) {
+	healthy := MustCPU(vikingSpec(false))
+	masked := MustCPU(vikingSpec(true))
+	app := AppProfile{Instructions: 1e9, WorkingSetKB: 2}
+	if healthy.RunTime(app) != masked.RunTime(app) {
+		t.Fatal("parts differ even when working set fits the masked cache")
+	}
+}
+
+func TestCPUMissRateMonotoneProperty(t *testing.T) {
+	c := MustCPU(vikingSpec(true))
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a%512), float64(b%512)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.MissRate(lo) <= c.MissRate(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryResponseStretch(t *testing.T) {
+	m := MemorySystem{TotalMB: 128, PageFaultStretch: 80}
+	if s := m.ResponseStretch(32, 0); s != 1 {
+		t.Fatalf("no-hog stretch = %v, want 1", s)
+	}
+	// Hog leaves 16 MB free for a 32 MB working set: half the accesses
+	// page. Stretch = 0.5 + 0.5*80 = 40.5 — the paper's "up to 40 times
+	// worse" regime.
+	s := m.ResponseStretch(32, 112)
+	if s < 35 || s > 45 {
+		t.Fatalf("hog stretch = %v, want ~40", s)
+	}
+	// Hog consuming everything: full paging.
+	if s := m.ResponseStretch(32, 200); s != 80 {
+		t.Fatalf("full-paging stretch = %v, want 80", s)
+	}
+}
+
+func TestMemoryStretchMonotoneInHogProperty(t *testing.T) {
+	m := MemorySystem{TotalMB: 128, PageFaultStretch: 80}
+	f := func(a, b uint8) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.ResponseStretch(32, lo) <= m.ResponseStretch(32, hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorMemoryEfficiency(t *testing.T) {
+	v := VectorMemory{BankBusyCycles: 3}
+	if e := v.Efficiency(0); e != 1 {
+		t.Fatalf("unperturbed efficiency = %v, want 1", e)
+	}
+	// Raghavan & Hayes: perturbation can halve memory system efficiency.
+	if e := v.Efficiency(0.5); e != 0.5 {
+		t.Fatalf("perturbed efficiency = %v, want 0.5", e)
+	}
+	if e := v.Efficiency(1); e != 1.0/3 {
+		t.Fatalf("fully perturbed efficiency = %v, want 1/3", e)
+	}
+}
+
+func TestFetchPredictorRange(t *testing.T) {
+	p := FetchPredictor{PathologyRange: 3}
+	if f := p.RunFactor(0); f != 1 {
+		t.Fatalf("best-case factor = %v, want 1", f)
+	}
+	near1 := p.RunFactor(0.999)
+	if near1 < 2.9 || near1 >= 3 {
+		t.Fatalf("worst-case factor = %v, want approaching 3", near1)
+	}
+	// Cubic skew: the median draw stays close to 1.
+	if med := p.RunFactor(0.5); med > 1.3 {
+		t.Fatalf("median factor = %v, want near 1", med)
+	}
+}
+
+func TestFetchPredictorMonotoneProperty(t *testing.T) {
+	p := FetchPredictor{PathologyRange: 3}
+	f := func(a, b uint16) bool {
+		ua := float64(a) / 65536
+		ub := float64(b) / 65536
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return p.RunFactor(ua) <= p.RunFactor(ub)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchPredictorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range input did not panic")
+		}
+	}()
+	FetchPredictor{PathologyRange: 3}.RunFactor(1.5)
+}
+
+func TestVectorMemoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad perturbation did not panic")
+		}
+	}()
+	VectorMemory{BankBusyCycles: 2}.Efficiency(2)
+}

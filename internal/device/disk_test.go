@@ -1,0 +1,250 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"failstutter/internal/faults"
+	"failstutter/internal/sim"
+)
+
+// flatDisk returns a single-zone disk for timing-exact tests.
+func flatDisk(s *sim.Simulator, name string, bw float64) *Disk {
+	return MustDisk(s, DiskParams{
+		Name:           name,
+		CapacityBlocks: 1 << 20,
+		BlockBytes:     4096,
+		Zones:          []Zone{{CapacityFrac: 1, Bandwidth: bw}},
+		SeekTime:       0.01,
+		AgingFactor:    1,
+	})
+}
+
+func TestDiskValidation(t *testing.T) {
+	s := sim.New()
+	bad := []DiskParams{
+		{},
+		{CapacityBlocks: 10, BlockBytes: 1},
+		{CapacityBlocks: 10, BlockBytes: 1, Zones: []Zone{{CapacityFrac: 0.5, Bandwidth: 1}}, AgingFactor: 1},
+		{CapacityBlocks: 10, BlockBytes: 1, Zones: []Zone{{CapacityFrac: 1, Bandwidth: 1}}, AgingFactor: 0},
+		{CapacityBlocks: 10, BlockBytes: 1, Zones: []Zone{{CapacityFrac: 1, Bandwidth: 1}}, AgingFactor: 1, RemappedBlocks: 11},
+	}
+	for i, p := range bad {
+		if _, err := NewDisk(s, p); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	if _, err := NewDisk(s, HawkParams("ok")); err != nil {
+		t.Fatalf("Hawk params rejected: %v", err)
+	}
+}
+
+func TestDiskSequentialTiming(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100) // 100 blocks/s
+	var lat float64
+	d.Read(0, 100, func(l float64) { lat = l })
+	s.Run()
+	// One seek (10 ms) + 100 blocks at 100 blocks/s = 1.01 s.
+	if math.Abs(lat-1.01) > 1e-9 {
+		t.Fatalf("latency = %v, want 1.01", lat)
+	}
+	if d.Reads() != 1 || d.Writes() != 0 {
+		t.Fatalf("reads/writes = %d/%d", d.Reads(), d.Writes())
+	}
+	if d.BytesCompleted() != 4096*100 {
+		t.Fatalf("bytes = %v", d.BytesCompleted())
+	}
+}
+
+func TestDiskSequentialAvoidsSeek(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100)
+	var last sim.Time
+	d.Read(0, 10, nil)
+	d.Read(10, 10, func(float64) { last = s.Now() }) // continues at block 10: no seek
+	s.Run()
+	// seek 0.01 + 20 blocks / 100 = 0.21
+	if math.Abs(last-0.21) > 1e-9 {
+		t.Fatalf("sequential continuation ended at %v, want 0.21", last)
+	}
+}
+
+func TestDiskRandomAccessPaysSeek(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100)
+	var last sim.Time
+	d.Read(0, 10, nil)
+	d.Read(5000, 10, func(float64) { last = s.Now() })
+	s.Run()
+	// two seeks + 20 blocks: 0.02 + 0.2
+	if math.Abs(last-0.22) > 1e-9 {
+		t.Fatalf("random access ended at %v, want 0.22", last)
+	}
+}
+
+func TestDiskZoneBandwidth(t *testing.T) {
+	s := sim.New()
+	d := MustDisk(s, DiskParams{
+		Name: "z", CapacityBlocks: 1000, BlockBytes: 1,
+		Zones: []Zone{
+			{CapacityFrac: 0.5, Bandwidth: 100},
+			{CapacityFrac: 0.5, Bandwidth: 50},
+		},
+		AgingFactor: 1,
+	})
+	if bw := d.ZoneBandwidth(0); bw != 100 {
+		t.Fatalf("outer zone bw = %v", bw)
+	}
+	if bw := d.ZoneBandwidth(999); bw != 50 {
+		t.Fatalf("inner zone bw = %v", bw)
+	}
+	// Outer reads are twice as fast as inner reads.
+	outer := d.SequentialReadBandwidth(0, 100)
+	s2 := sim.New()
+	d2 := MustDisk(s2, d.Params())
+	inner := d2.SequentialReadBandwidth(800, 100)
+	ratio := outer / inner
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("zone ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDiskRemappedBlocksSlowdown(t *testing.T) {
+	s := sim.New()
+	healthy := flatDisk(s, "h", 5.5e6/4096*4096) // ~5.5 MB/s in bytes/s
+	healthyBW := healthy.SequentialReadBandwidth(0, 20000)
+
+	s2 := sim.New()
+	p := healthy.Params()
+	p.Name = "faulty"
+	p.RemappedBlocks = p.CapacityBlocks / 100 // 1% remapped
+	p.RemapPenalty = 0.022
+	p.RemapSeed = 99
+	faulty := MustDisk(s2, p)
+	faultyBW := faulty.SequentialReadBandwidth(0, 20000)
+
+	if faultyBW >= healthyBW {
+		t.Fatalf("remapped disk not slower: %v >= %v", faultyBW, healthyBW)
+	}
+	// The paper's example: 5.5 -> 5.0 MB/s, i.e. ~10% deficit; with 1%
+	// remaps at 22 ms each the deficit should be noticeable but bounded.
+	deficit := 1 - faultyBW/healthyBW
+	if deficit < 0.02 || deficit > 0.6 {
+		t.Fatalf("remap deficit = %v, want moderate", deficit)
+	}
+}
+
+func TestDiskRemapDeterministicPerSeed(t *testing.T) {
+	s := sim.New()
+	p := HawkParams("a")
+	p.RemappedBlocks = 1000
+	p.RemapSeed = 5
+	d1 := MustDisk(s, p)
+	d2 := MustDisk(s, p)
+	for b := int64(0); b < 5000; b++ {
+		if d1.isRemapped(b) != d2.isRemapped(b) {
+			t.Fatal("same seed produced different remap sets")
+		}
+	}
+	p.RemapSeed = 6
+	d3 := MustDisk(s, p)
+	diff := 0
+	for b := int64(0); b < 5000; b++ {
+		if d1.isRemapped(b) != d3.isRemapped(b) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical remap sets")
+	}
+}
+
+func TestDiskRemapDensityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := HawkParams("a")
+		p.RemappedBlocks = p.CapacityBlocks / 10
+		p.RemapSeed = seed
+		d := MustDisk(sim.New(), p)
+		hits := 0
+		const n = 20000
+		for b := int64(0); b < n; b++ {
+			if d.isRemapped(b) {
+				hits++
+			}
+		}
+		frac := float64(hits) / n
+		return frac > 0.05 && frac < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskAgingSlowsReads(t *testing.T) {
+	fresh := flatDisk(sim.New(), "f", 1e6)
+	freshBW := fresh.SequentialReadBandwidth(0, 10000)
+
+	p := fresh.Params()
+	p.Name = "aged"
+	p.AgingFactor = 0.5
+	aged := MustDisk(sim.New(), p)
+	agedBW := aged.SequentialReadBandwidth(0, 10000)
+
+	ratio := freshBW / agedBW
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("aging ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDiskFaultInjection(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100)
+	faults.Static{Factor: 0.5}.Install(s, d.Composite())
+	var lat float64
+	d.Read(0, 100, func(l float64) { lat = l })
+	s.Run()
+	// Nominal 1.01 s stretched 2x by the half-rate fault.
+	if math.Abs(lat-2.02) > 1e-9 {
+		t.Fatalf("degraded latency = %v, want 2.02", lat)
+	}
+}
+
+func TestDiskFailStop(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100)
+	completed := false
+	d.Read(0, 100, func(float64) { completed = true })
+	s.At(0.5, d.Fail)
+	s.Run()
+	if completed {
+		t.Fatal("request completed on failed disk")
+	}
+	if !d.Failed() {
+		t.Fatal("disk not failed")
+	}
+	if bw := d.SequentialReadBandwidth(0, 10); bw != 0 {
+		t.Fatalf("failed disk bandwidth = %v, want 0", bw)
+	}
+}
+
+func TestDiskOutOfRangePanics(t *testing.T) {
+	s := sim.New()
+	d := flatDisk(s, "d0", 4096*100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	d.Read(d.Params().CapacityBlocks-5, 10, nil)
+}
+
+func TestHawkDeliversSpecBandwidth(t *testing.T) {
+	d := MustDisk(sim.New(), HawkParams("hawk"))
+	bw := d.SequentialReadBandwidth(0, 50000)
+	// Outer zone: 5.5 MB/s nominal; long sequential read amortizes the seek.
+	if bw < 5.3e6 || bw > 5.6e6 {
+		t.Fatalf("Hawk outer-zone bandwidth = %v, want ~5.5e6", bw)
+	}
+}

@@ -1,0 +1,63 @@
+package device
+
+import (
+	"fmt"
+
+	"failstutter/internal/faults"
+	"failstutter/internal/sim"
+)
+
+// Link is a point-to-point network link: messages are serialized at the
+// link bandwidth, then delivered after a propagation latency. Performance
+// faults modulate the serialization rate.
+type Link struct {
+	station *sim.Station
+	comp    *faults.Composite
+	s       *sim.Simulator
+	latency sim.Duration
+
+	bytesDone float64
+	delivered uint64
+}
+
+// NewLink creates a link with the given bandwidth (bytes/s) and one-way
+// propagation latency (seconds).
+func NewLink(s *sim.Simulator, name string, bandwidth float64, latency sim.Duration) *Link {
+	if latency < 0 {
+		panic(fmt.Sprintf("device: link %q negative latency", name))
+	}
+	l := &Link{
+		station: sim.NewStation(s, name, bandwidth),
+		s:       s,
+		latency: latency,
+	}
+	l.comp = faults.NewComposite(l.station)
+	return l
+}
+
+// Composite exposes the fault target for injectors.
+func (l *Link) Composite() *faults.Composite { return l.comp }
+
+// Failed reports absolute failure.
+func (l *Link) Failed() bool { return l.station.Failed() }
+
+// BytesDelivered returns total bytes that completed delivery.
+func (l *Link) BytesDelivered() float64 { return l.bytesDone }
+
+// Delivered returns the count of delivered messages.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// Send transmits `bytes` over the link; onDelivered (if non-nil) fires
+// after serialization plus propagation.
+func (l *Link) Send(bytes float64, onDelivered func(latency float64)) {
+	start := l.s.Now()
+	l.station.SubmitFunc(bytes, func(*sim.Request) {
+		l.s.After(l.latency, func() {
+			l.bytesDone += bytes
+			l.delivered++
+			if onDelivered != nil {
+				onDelivered(l.s.Now() - start)
+			}
+		})
+	})
+}

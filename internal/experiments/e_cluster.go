@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"failstutter/internal/cluster"
+	"failstutter/internal/workload"
+)
+
+// clusterQuantum is the work-unit quantum for the goroutine experiments.
+const clusterQuantum = 50 * time.Microsecond
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "DHT: garbage collection makes one node the bottleneck",
+		PaperClaim: "untimely garbage collection causes one node to fall " +
+			"behind its mirror in a replicated update; one machine " +
+			"over-saturates and thus is the bottleneck (Gribble et al., " +
+			"Section 2.2.1)",
+		Run: runE14,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Title: "Distributed sort: one loaded node halves throughput",
+		PaperClaim: "a node with excess CPU load reduces global sorting " +
+			"performance by a factor of two (NOW-Sort, Section 2.2.2)",
+		Run: runE15,
+	})
+	register(Experiment{
+		ID:    "E23",
+		Title: "Slow-down failures: reissue and reconcile",
+		PaperClaim: "run transactions correctly in the presence of slow-down " +
+			"failures by issuing new processes to do the work elsewhere, " +
+			"reconciling so as to avoid work replication (Shasha & Turek, " +
+			"Section 4)",
+		Run: runE23,
+	})
+	register(Experiment{
+		ID:    "E29",
+		Title: "Bulk-synchronous parallelism: every barrier pays the straggler",
+		PaperClaim: "particularly vulnerable are systems that make static uses " +
+			"of parallelism, usually assuming that all components perform " +
+			"identically (Section 1; CM-5 parallel applications, Section 2.1.3)",
+		Run: runE29,
+	})
+	register(Experiment{
+		ID:    "E24",
+		Title: "Scheduler comparison across fault scenarios",
+		PaperClaim: "new adaptive algorithms, which can cope with this more " +
+			"difficult class of failures, must be designed ... and different " +
+			"approaches need to be evaluated (Section 5)",
+		Run: runE24,
+	})
+}
+
+func runE14(cfg Config) *Table {
+	dur := time.Duration(scale(cfg, 300, 1500)) * time.Millisecond
+	t := NewTable("E14", "DHT under garbage collection",
+		"one GC-ing node bottlenecks synchronous replication; adaptive acks ride it out",
+		"configuration", "puts", "relative", "hinted handoffs")
+	run := func(gc, adaptive bool) (int64, int64) {
+		d := cluster.NewDHT(cluster.DHTParams{
+			Nodes: 4, Replication: 2, OpQuantum: clusterQuantum,
+			Adaptive: adaptive, SampleEvery: time.Millisecond,
+		})
+		defer d.Stop()
+		if gc {
+			cancel := d.StartGC(0, 40*time.Millisecond, 35*time.Millisecond)
+			defer cancel()
+		}
+		puts := d.RunLoad(8, dur)
+		return puts, d.Hints()
+	}
+	healthy, _ := run(false, false)
+	gcSync, _ := run(true, false)
+	gcAdaptive, hints := run(true, true)
+	t.AddRow("no GC, synchronous", fmt.Sprintf("%d", healthy), "1.00x", "0")
+	t.AddRow("GC on node 0, synchronous", fmt.Sprintf("%d", gcSync),
+		fmt.Sprintf("%.2fx", float64(gcSync)/float64(healthy)), "0")
+	t.AddRow("GC on node 0, adaptive", fmt.Sprintf("%d", gcAdaptive),
+		fmt.Sprintf("%.2fx", float64(gcAdaptive)/float64(healthy)), fmt.Sprintf("%d", hints))
+	t.SetMetric("puts_healthy", float64(healthy))
+	t.SetMetric("puts_gc_sync", float64(gcSync))
+	t.SetMetric("puts_gc_adaptive", float64(gcAdaptive))
+	t.SetMetric("hints", float64(hints))
+	t.AddNote("adaptive mode detects the stutterer peer-relatively and defers its ack (hinted handoff), trading redundancy debt for availability")
+	return t
+}
+
+// sortTasks builds the distributed-sort task set: partitions of a record
+// space with n log n cost scaling.
+func sortTasks(partitions, recordsPerPartition int) []cluster.Task {
+	tasks := make([]cluster.Task, partitions)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			ID:    i,
+			Units: workload.SortUnits(recordsPerPartition, recordsPerPartition) / 100,
+		}
+		if tasks[i].Units < 1 {
+			tasks[i].Units = 1
+		}
+	}
+	return tasks
+}
+
+func runE15(cfg Config) *Table {
+	// Each task must cost several milliseconds at nominal speed: the
+	// worker meters work through ~1 ms sleeps, so sub-millisecond tasks
+	// hit the timer floor and flatten every speed ratio. Totals are sized
+	// so the slowest run takes >= ~100 ms, well above scheduler noise.
+	nTasks := int(scale(cfg, 48, 96))
+	units := int(scale(cfg, 60, 80))
+	t := NewTable("E15", "Distributed sort with a CPU hog",
+		"static design: 2x slowdown from one loaded node; pull-based sheds it",
+		"scheduler", "no hog", "hog on node 0", "hog slowdown")
+	schedulers := []cluster.Scheduler{
+		cluster.StaticPartition{},
+		cluster.GaugedPartition{},
+		cluster.WorkQueue{},
+		cluster.DetectAvoid{},
+	}
+	for _, sched := range schedulers {
+		base := sched.Run(cluster.NewPool(4, clusterQuantum), cluster.UniformTasks(nTasks, units)).Makespan
+		hogged := func() time.Duration {
+			p := cluster.NewPool(4, clusterQuantum)
+			// The hog halves node 0's effective CPU for the whole job.
+			p.Workers()[0].SetSpeed(0.5)
+			return sched.Run(p, cluster.UniformTasks(nTasks, units)).Makespan
+		}()
+		ratio := float64(hogged) / float64(base)
+		t.AddRow(sched.Name(),
+			fmt.Sprintf("%v", base.Round(time.Millisecond)),
+			fmt.Sprintf("%v", hogged.Round(time.Millisecond)),
+			fmt.Sprintf("%.2fx", ratio))
+		t.SetMetric("slowdown_"+sched.Name(), ratio)
+	}
+	t.AddNote("tasks sized via the n log n sort cost model; hog implemented as a 50%% CPU share")
+	return t
+}
+
+func runE23(cfg Config) *Table {
+	nTasks := int(scale(cfg, 48, 96))
+	units := int(scale(cfg, 60, 80))
+	t := NewTable("E23", "Slow-down failures: reissue and reconcile",
+		"reissue bounds the tail; reconciliation bounds wasted work",
+		"scheduler", "makespan", "wasted units", "duplicate launches")
+	for _, sched := range []cluster.Scheduler{
+		cluster.WorkQueue{},
+		cluster.Hedged{MaxClones: 1},
+		cluster.Reissue{TimeoutFactor: 3, MaxClones: 1},
+	} {
+		p := cluster.NewPool(4, clusterQuantum)
+		// Worker 0 suffers a severe slow-down failure shortly into the job.
+		timer := time.AfterFunc(10*time.Millisecond, func() { p.Workers()[0].SetSpeed(0.02) })
+		r := sched.Run(p, cluster.UniformTasks(nTasks, units))
+		timer.Stop()
+		p.Workers()[0].SetSpeed(1)
+		t.AddRow(r.Scheduler, fmt.Sprintf("%v", r.Makespan.Round(time.Millisecond)),
+			fmt.Sprintf("%d", r.WastedUnits), fmt.Sprintf("%d", r.Duplicates))
+		t.SetMetric("makespan_ms_"+r.Scheduler, float64(r.Makespan.Milliseconds()))
+		t.SetMetric("wasted_"+r.Scheduler, float64(r.WastedUnits))
+		t.SetMetric("dups_"+r.Scheduler, float64(r.Duplicates))
+	}
+	totalUnits := nTasks * units
+	t.AddNote("total required work %d units; wasted work stays a small fraction thanks to the completion claim", totalUnits)
+	t.SetMetric("total_units", float64(totalUnits))
+	return t
+}
+
+func runE29(cfg Config) *Table {
+	rounds := int(scale(cfg, 4, 8))
+	units := int(scale(cfg, 60, 80))
+	t := NewTable("E29", "Bulk-synchronous parallelism under a slow node",
+		"a static BSP machine pays the straggler at every barrier; elastic rounds contain it",
+		"design", "healthy", "one node at 25%", "slowdown")
+	for _, elastic := range []bool{false, true} {
+		name := "static rounds"
+		if elastic {
+			name = "elastic rounds"
+		}
+		healthy := cluster.RunBSP(cluster.NewPool(4, clusterQuantum),
+			cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: 20}).Makespan
+		pSlow := cluster.NewPool(4, clusterQuantum)
+		pSlow.Workers()[0].SetSpeed(0.25)
+		slow := cluster.RunBSP(pSlow,
+			cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: 20}).Makespan
+		ratio := float64(slow) / float64(healthy)
+		t.AddRow(name,
+			fmt.Sprintf("%v", healthy.Round(time.Millisecond)),
+			fmt.Sprintf("%v", slow.Round(time.Millisecond)),
+			fmt.Sprintf("%.2fx", ratio))
+		key := "static"
+		if elastic {
+			key = "elastic"
+		}
+		t.SetMetric("slowdown_"+key, ratio)
+	}
+	t.AddNote("the barrier is inherent to the algorithm; the design choice is whether work within a round is fixed or pulled")
+	return t
+}
+
+func runE24(cfg Config) *Table {
+	nTasks := int(scale(cfg, 48, 96))
+	units := int(scale(cfg, 60, 80))
+	t := NewTable("E24", "Scheduler comparison",
+		"increasing fail-stutter awareness narrows the gap to fault-free performance",
+		"scheduler", "healthy", "static slow node", "mid-job degradation")
+	for _, sched := range cluster.Schedulers() {
+		healthy := sched.Run(cluster.NewPool(4, clusterQuantum), cluster.UniformTasks(nTasks, units)).Makespan
+
+		pStatic := cluster.NewPool(4, clusterQuantum)
+		pStatic.Workers()[0].SetSpeed(0.25)
+		static := sched.Run(pStatic, cluster.UniformTasks(nTasks, units)).Makespan
+
+		pMid := cluster.NewPool(4, clusterQuantum)
+		timer := time.AfterFunc(10*time.Millisecond, func() { pMid.Workers()[0].SetSpeed(0.1) })
+		mid := sched.Run(pMid, cluster.UniformTasks(nTasks, units)).Makespan
+		timer.Stop()
+
+		t.AddRow(sched.Name(),
+			fmt.Sprintf("%v", healthy.Round(time.Millisecond)),
+			fmt.Sprintf("%v", static.Round(time.Millisecond)),
+			fmt.Sprintf("%v", mid.Round(time.Millisecond)))
+		t.SetMetric("healthy_ms_"+sched.Name(), float64(healthy.Milliseconds()))
+		t.SetMetric("static_ms_"+sched.Name(), float64(static.Milliseconds()))
+		t.SetMetric("mid_ms_"+sched.Name(), float64(mid.Milliseconds()))
+	}
+	return t
+}

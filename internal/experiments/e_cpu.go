@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"failstutter/internal/device"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E09",
+		Title: "Cache fault masking on 'identical' processors",
+		PaperClaim: "chips sold as identical Vikings had caches partially " +
+			"disabled (16 KB 4-way spec behaving as 4 KB direct-mapped), with " +
+			"application differences up to 40% (Section 2.1.1)",
+		Run: runE09,
+	})
+	register(Experiment{
+		ID:    "E16",
+		Title: "Memory hog vs interactive response",
+		PaperClaim: "response time of an interactive job is up to 40 times " +
+			"worse when competing with a memory-intensive process (Section 2.2.2)",
+		Run: runE16,
+	})
+	register(Experiment{
+		ID:    "E17",
+		Title: "Scalar-vector memory-bank interference",
+		PaperClaim: "perturbations to a vector reference stream can reduce " +
+			"memory system efficiency by up to a factor of two (Section 2.2.2)",
+		Run: runE17,
+	})
+}
+
+func vikingCPU(masked bool) *device.CPU {
+	p := device.CPUParams{
+		Name:            "viking",
+		ClockGHz:        0.05,
+		BaseCPI:         1.2,
+		MemRefsPerInstr: 0.25,
+		Cache: device.CacheSpec{
+			SizeKB:            16,
+			Assoc:             4,
+			MissPenaltyCycles: 20,
+			ColdMissRate:      0.01,
+			LocalityFactor:    0.12,
+		},
+	}
+	if masked {
+		p.MaskedFraction = 0.75
+		p.MaskedAssoc = 1
+	}
+	return device.MustCPU(p)
+}
+
+func runE09(cfg Config) *Table {
+	t := NewTable("E09", "Cache fault masking",
+		"identical-spec parts differ up to ~40% at application level",
+		"working set", "healthy (16K 4-way)", "masked (4K direct)", "slowdown")
+	healthy := vikingCPU(false)
+	masked := vikingCPU(true)
+	maxRatio := 0.0
+	for _, ws := range []float64{2, 4.5, 6, 8, 12, 16} {
+		app := device.AppProfile{Instructions: 1e9, WorkingSetKB: ws}
+		th := healthy.RunTime(app)
+		tm := masked.RunTime(app)
+		ratio := tm / th
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		t.AddRow(fmt.Sprintf("%.1f KB", ws),
+			fmt.Sprintf("%.2f s", th),
+			fmt.Sprintf("%.2f s", tm),
+			fmt.Sprintf("%.0f%%", (ratio-1)*100))
+		t.SetMetric(fmt.Sprintf("ratio_ws%.1f", ws), ratio)
+	}
+	t.SetMetric("max_slowdown", maxRatio)
+	t.AddNote("max application slowdown %.0f%% (paper: up to 40%%)", (maxRatio-1)*100)
+	return t
+}
+
+func runE16(cfg Config) *Table {
+	t := NewTable("E16", "Memory hog",
+		"interactive response up to 40x worse under memory pressure",
+		"hog resident set", "free for interactive job", "response stretch")
+	mem := device.MemorySystem{TotalMB: 128, PageFaultStretch: 80}
+	const interactiveWs = 32
+	maxStretch := 0.0
+	for _, hog := range []float64{0, 64, 96, 104, 112, 120} {
+		stretch := mem.ResponseStretch(interactiveWs, hog)
+		if stretch > maxStretch {
+			maxStretch = stretch
+		}
+		free := mem.TotalMB - hog
+		if free < 0 {
+			free = 0
+		}
+		t.AddRow(fmt.Sprintf("%.0f MB", hog), fmt.Sprintf("%.0f MB", free),
+			fmt.Sprintf("%.1fx", stretch))
+		t.SetMetric(fmt.Sprintf("stretch_hog%.0f", hog), stretch)
+	}
+	t.SetMetric("max_stretch", maxStretch)
+	t.AddNote("interactive working set %d MB of %0.f MB total; paging costs %gx a resident access",
+		interactiveWs, mem.TotalMB, mem.PageFaultStretch)
+	return t
+}
+
+func runE17(cfg Config) *Table {
+	t := NewTable("E17", "Scalar-vector memory interference",
+		"perturbation halves memory system efficiency",
+		"perturbation probability", "stream efficiency")
+	v := device.VectorMemory{BankBusyCycles: 3}
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		eff := v.Efficiency(p)
+		t.AddRow(fmt.Sprintf("%.0f%%", p*100), fmt.Sprintf("%.0f%%", eff*100))
+		t.SetMetric(fmt.Sprintf("eff_%.0f", p*100), eff)
+	}
+	t.SetMetric("halving_point", 0.5)
+	t.AddNote("at 50%% perturbation the stream delivers half its unperturbed bandwidth")
+	return t
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"failstutter/internal/device"
+	"failstutter/internal/faults"
+	"failstutter/internal/sim"
+	"failstutter/internal/spec"
+	"failstutter/internal/wind"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E31",
+		Title: "WiND: the full fail-stutter loop in a network storage volume",
+		PaperClaim: "as a first step in this direction, we are exploring the " +
+			"construction of fail-stutter-tolerant storage in the Wisconsin " +
+			"Network Disks (WiND) project ... investigating the adaptive " +
+			"software techniques central to robust and manageable storage " +
+			"(Section 5)",
+		Run: runE31,
+	})
+}
+
+func windNodeParams(i int) wind.NodeParams {
+	return wind.NodeParams{
+		Disk: device.DiskParams{
+			Name:           fmt.Sprintf("e31-disk-%d", i),
+			CapacityBlocks: 1 << 22,
+			BlockBytes:     blockBytes,
+			Zones:          []device.Zone{{CapacityFrac: 1, Bandwidth: 1e6}},
+			SeekTime:       0.0005,
+			AgingFactor:    1,
+		},
+		LinkBandwidth: 10e6,
+		LinkLatency:   0.0002,
+	}
+}
+
+func runE31(cfg Config) *Table {
+	horizon := float64(scale(cfg, 25, 120))
+	t := NewTable("E31", "WiND network storage volume",
+		"detection + notification + adaptive placement ride out both fault classes",
+		"policy", "fault", "writes completed", "diverted", "bookkeeping")
+	run := func(policy wind.Policy, inject func(*sim.Simulator, *wind.Volume)) (uint64, uint64, int) {
+		s := sim.New()
+		v, err := wind.NewVolume(s, wind.VolumeParams{
+			Nodes:        6,
+			Replication:  2,
+			BlockBytes:   blockBytes,
+			Policy:       policy,
+			Spec:         spec.Spec{ExpectedRate: 1e6, Tolerance: 0.4, PromotionTimeout: 8},
+			HedgeAfter:   0.05,
+			WriteTimeout: 0.5,
+		}, windNodeParams)
+		if err != nil {
+			panic(err)
+		}
+		if inject != nil {
+			inject(s, v)
+		}
+		for w := 0; w < 4; w++ {
+			var loop func()
+			loop = func() {
+				if s.Now() >= horizon {
+					return
+				}
+				v.Write(loop)
+			}
+			loop()
+		}
+		s.RunUntil(horizon)
+		return v.Written(), v.Diverted(), v.Bookkeeping()
+	}
+	scenarios := []struct {
+		name   string
+		inject func(*sim.Simulator, *wind.Volume)
+	}{
+		{"none", nil},
+		{"node 0 at 5% from t=2", func(s *sim.Simulator, v *wind.Volume) {
+			faults.StepAt{At: 2, Factor: 0.05}.Install(s, v.Node(0).Disk().Composite())
+		}},
+		{"node 0 crashes at t=2", func(s *sim.Simulator, v *wind.Volume) {
+			faults.CrashAt{At: 2}.Install(s, v.Node(0).Disk().Composite())
+		}},
+	}
+	for _, sc := range scenarios {
+		for _, policy := range []wind.Policy{wind.Static, wind.Adaptive} {
+			written, diverted, book := run(policy, sc.inject)
+			t.AddRow(policy.String(), sc.name,
+				fmt.Sprintf("%d", written), fmt.Sprintf("%d", diverted), fmt.Sprintf("%d", book))
+			key := fmt.Sprintf("%s_%s", policy, metricName(sc.name))
+			t.SetMetric("writes_"+key, float64(written))
+			t.SetMetric("diverted_"+key, float64(diverted))
+		}
+	}
+	t.AddNote("4 closed-loop writers over %g simulated seconds; replication 2 across 6 nodes", horizon)
+	t.AddNote("a stutterer costs more than a corpse: the crashed node promotes and is avoided for good, while the slow node drains, looks idle-healthy, attracts probe traffic, and stalls it — the recovery-probing tax")
+	return t
+}
+
+// metricName normalizes a scenario label into a metric key fragment.
+func metricName(s string) string {
+	switch s {
+	case "none":
+		return "healthy"
+	case "node 0 at 5% from t=2":
+		return "stutter"
+	default:
+		return "crash"
+	}
+}

@@ -1,0 +1,595 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Config{Seed: 42, Quick: true}
+
+func runByID(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := e.Run(quick)
+	if tbl.ID != id {
+		t.Fatalf("experiment %s produced table %s", id, tbl.ID)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("experiment %s produced no rows", id)
+	}
+	return tbl
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27",
+		"E28", "E29", "E30", "E31", "A1", "A2", "A3", "A4",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registered %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %s, want %s (%v)", i, ids[i], id, ids)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := NewTable("X1", "title", "claim", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddNote("note %d", 7)
+	tbl.SetMetric("m", 3.5)
+	out := tbl.Format()
+	for _, want := range []string{"X1", "title", "claim", "note 7", "metric m = 3.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("X1", "title", "claim", "a", "b")
+	tbl.AddRow("1", "with,comma")
+	tbl.SetMetric("m", 3.5)
+	out := tbl.CSV()
+	want := "experiment,a,b\nX1,1,\"with,comma\"\nX1,metric:m,3.5\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tbl := NewTable("X1", "t", "c", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row mismatch did not panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestE01FailStopTracksSlowPair(t *testing.T) {
+	tbl := runByID(t, "E01")
+	if re := tbl.MustMetric("rel_error"); re > 0.05 {
+		t.Fatalf("static throughput misses N*b by %.1f%%", re*100)
+	}
+}
+
+func TestE02GaugedRecoversAndDriftBreaks(t *testing.T) {
+	tbl := runByID(t, "E02")
+	if re := tbl.MustMetric("rel_error_static"); re > 0.08 {
+		t.Fatalf("gauged throughput misses (N-1)B+b by %.1f%%", re*100)
+	}
+	drift := tbl.MustMetric("throughput_drift")
+	static := tbl.MustMetric("predicted_static")
+	if drift > 0.7*static {
+		t.Fatalf("post-gauge drift barely hurt: %v vs healthy prediction %v", drift, static)
+	}
+}
+
+func TestE03AdaptiveHoldsBandwidth(t *testing.T) {
+	tbl := runByID(t, "E03")
+	if got, avail := tbl.MustMetric("throughput_static"), tbl.MustMetric("available_static"); got < 0.88*avail {
+		t.Fatalf("adaptive static throughput %v below 88%% of available %v", got, avail)
+	}
+	adaptive := tbl.MustMetric("throughput_dyn_adaptive")
+	static := tbl.MustMetric("throughput_dyn_static")
+	if adaptive < 1.2*static {
+		t.Fatalf("adaptive %v not clearly above static %v under oscillation", adaptive, static)
+	}
+	if tbl.MustMetric("bookkeeping_adaptive") <= 0 {
+		t.Fatal("adaptive reported no bookkeeping cost")
+	}
+}
+
+func TestE04ThroughputTracksSlowest(t *testing.T) {
+	tbl := runByID(t, "E04")
+	for _, d := range []string{"0", "10", "25", "50", "75"} {
+		got := tbl.MustMetric("throughput_" + d)
+		want := tbl.MustMetric("predicted_" + d)
+		if relErr(got, want) > 0.05 {
+			t.Fatalf("deficit %s%%: throughput %v vs predicted %v", d, got, want)
+		}
+	}
+}
+
+func TestE05RemapDeficit(t *testing.T) {
+	tbl := runByID(t, "E05")
+	prev := tbl.MustMetric("bw_0")
+	for i := 1; i < 4; i++ {
+		cur := tbl.MustMetric(metricKey("bw_", i))
+		if cur >= prev {
+			t.Fatalf("bandwidth not monotone in remap density: bw_%d=%v bw_%d=%v", i-1, prev, i, cur)
+		}
+		prev = cur
+	}
+	// The paper's ~9% deficit should bracket within the sweep.
+	healthy := tbl.MustMetric("healthy_bw")
+	mid := tbl.MustMetric("bw_2")
+	deficit := 1 - mid/healthy
+	if deficit < 0.03 || deficit > 0.5 {
+		t.Fatalf("mid-sweep remap deficit %.1f%% not in a plausible band", deficit*100)
+	}
+}
+
+func metricKey(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestE06ErrorRatesAndChainStalls(t *testing.T) {
+	tbl := runByID(t, "E06")
+	perDay := tbl.MustMetric("errors_per_day")
+	if perDay < 1 || perDay > 3 {
+		t.Fatalf("timeout rate %.2f/day, want ~2", perDay)
+	}
+	if s := tbl.MustMetric("share_all"); s < 0.4 || s > 0.6 {
+		t.Fatalf("share of all errors %.2f, want ~0.49", s)
+	}
+	if s := tbl.MustMetric("share_no_network"); s < 0.8 || s > 0.95 {
+		t.Fatalf("share excluding network %.2f, want ~0.87", s)
+	}
+	if loss := tbl.MustMetric("chain_loss_frac"); loss <= 0 || loss > 0.05 {
+		t.Fatalf("chain throughput loss %.4f implausible for rare 2s resets", loss)
+	}
+}
+
+func TestE07BufferingAbsorbsRecalibrations(t *testing.T) {
+	tbl := runByID(t, "E07")
+	// With a 4 s buffer even 3 s recals are absorbed; with 0.5 s buffer a
+	// 3 s recal drops frames.
+	deep := tbl.MustMetric("miss_b4_r3")
+	shallow := tbl.MustMetric("miss_b0.5_r3")
+	if deep > 0.001 {
+		t.Fatalf("4 s buffer still missed %.2f%%", deep*100)
+	}
+	if shallow <= deep {
+		t.Fatalf("shallow buffer %.4f not worse than deep %.4f", shallow, deep)
+	}
+}
+
+func TestE08ZoneRatio(t *testing.T) {
+	tbl := runByID(t, "E08")
+	if r := tbl.MustMetric("zone_ratio"); r < 1.8 || r > 2.2 {
+		t.Fatalf("outer/inner ratio %.2f, want ~2", r)
+	}
+}
+
+func TestE09CacheMaskingSlowdown(t *testing.T) {
+	tbl := runByID(t, "E09")
+	max := tbl.MustMetric("max_slowdown")
+	if max < 1.3 || max > 1.7 {
+		t.Fatalf("max cache-masking slowdown %.2fx, want ~1.4x (paper: up to 40%%)", max)
+	}
+	if r := tbl.MustMetric("ratio_ws2.0"); r != 1 {
+		t.Fatalf("cache-resident workload differs: %v", r)
+	}
+}
+
+func TestE10TransposeCollapse(t *testing.T) {
+	tbl := runByID(t, "E10")
+	mid := tbl.MustMetric("slowdown_n1_s0.33")
+	if mid < 2 || mid > 4.5 {
+		t.Fatalf("one receiver at 33%%: slowdown %.2fx, want ~3x", mid)
+	}
+	severe := tbl.MustMetric("slowdown_n1_s0.10")
+	if severe <= mid {
+		t.Fatalf("slower receiver did not hurt more: %.2f vs %.2f", severe, mid)
+	}
+}
+
+func TestE11Unfairness(t *testing.T) {
+	tbl := runByID(t, "E11")
+	if sd := tbl.MustMetric("global_slowdown"); sd < 1.3 {
+		t.Fatalf("misled adaptive transfer slowdown %.2fx, want ~1.5x", sd)
+	}
+	if fair := tbl.MustMetric("fair_slowdown"); fair > 1.1 {
+		t.Fatalf("fair arbitration slowdown %.2fx, want ~1x", fair)
+	}
+	if rr := tbl.MustMetric("rate_ratio"); rr < 1.5 {
+		t.Fatalf("observed route-rate disparity %.2fx, want a clear distortion", rr)
+	}
+}
+
+func TestE12FreezeCost(t *testing.T) {
+	tbl := runByID(t, "E12")
+	base := tbl.MustMetric("time_0")
+	for _, n := range []int{1, 2, 3} {
+		got := tbl.MustMetric(metricKey("time_", n))
+		added := got - base
+		want := 2 * float64(n)
+		if added < want*0.9 || added > want*1.3 {
+			t.Fatalf("%d freezes added %.2f s, want ~%.0f s", n, added, want)
+		}
+	}
+}
+
+func TestE13AgedLayouts(t *testing.T) {
+	tbl := runByID(t, "E13")
+	if r := tbl.MustMetric("age_ratio"); r < 1.8 || r > 2.2 {
+		t.Fatalf("fresh/aged ratio %.2f, want ~2", r)
+	}
+	if tbl.MustMetric("fresh_identical") != 1 {
+		t.Fatal("recreated-fresh drives not identical")
+	}
+}
+
+func TestE16MemoryHogStretch(t *testing.T) {
+	tbl := runByID(t, "E16")
+	max := tbl.MustMetric("max_stretch")
+	if max < 30 || max > 85 {
+		t.Fatalf("max stretch %.1fx, want the paper's tens-of-x regime", max)
+	}
+	if s := tbl.MustMetric("stretch_hog0"); s != 1 {
+		t.Fatalf("no-hog stretch %v, want 1", s)
+	}
+}
+
+func TestE17VectorEfficiency(t *testing.T) {
+	tbl := runByID(t, "E17")
+	if e := tbl.MustMetric("eff_50"); e != 0.5 {
+		t.Fatalf("efficiency at 50%% perturbation = %v, want 0.5 (factor of two)", e)
+	}
+	if e := tbl.MustMetric("eff_0"); e != 1 {
+		t.Fatalf("unperturbed efficiency = %v", e)
+	}
+}
+
+func TestE18PromotionMatrix(t *testing.T) {
+	tbl := runByID(t, "E18")
+	// Short stall, generous T: stays a performance fault.
+	if tbl.MustMetric("promoted_stall2_T15") != 0 {
+		t.Fatal("2 s stall promoted under T=15")
+	}
+	// Short stall, hair-trigger T: promoted (the cost of a small T).
+	if tbl.MustMetric("promoted_stall10_T5") != 1 {
+		t.Fatal("10 s stall not promoted under T=5")
+	}
+	// Permanent silence always promotes eventually.
+	if tbl.MustMetric("promoted_stall+Inf_T40") != 1 {
+		t.Fatal("permanent silence not promoted under T=40")
+	}
+}
+
+func TestE19NotificationCost(t *testing.T) {
+	tbl := runByID(t, "E19")
+	every := tbl.MustMetric("every_p8")
+	persistent := tbl.MustMetric("persistent_p8")
+	if every < 10 {
+		t.Fatalf("notify-every produced only %v messages for frequent blips", every)
+	}
+	if persistent != 0 {
+		t.Fatalf("notify-persistent produced %v messages for transient blips", persistent)
+	}
+	if d := tbl.MustMetric("persistent_detect_delay"); d < 0 || d > 15 {
+		t.Fatalf("persistent policy detection delay %v s", d)
+	}
+}
+
+func TestE20AvailabilityGap(t *testing.T) {
+	tbl := runByID(t, "E20")
+	fs := tbl.MustMetric("availability_failstop")
+	fst := tbl.MustMetric("availability_failstutter")
+	if fst < 0.95 {
+		t.Fatalf("fail-stutter design availability %.3f, want ~1", fst)
+	}
+	if fs > fst-0.1 {
+		t.Fatalf("fail-stop design %.3f not clearly below fail-stutter %.3f", fs, fst)
+	}
+}
+
+func TestE21IncrementalGrowth(t *testing.T) {
+	tbl := runByID(t, "E21")
+	static := tbl.MustMetric("throughput_static")
+	adaptive := tbl.MustMetric("throughput_adaptive")
+	ideal := tbl.MustMetric("ideal")
+	if adaptive < 0.85*ideal {
+		t.Fatalf("adaptive %.3g below 85%% of ideal %.3g", adaptive, ideal)
+	}
+	if static > 0.5*ideal {
+		t.Fatalf("static %.3g suspiciously high against ideal %.3g", static, ideal)
+	}
+}
+
+func TestE22PredictionLeadTime(t *testing.T) {
+	tbl := runByID(t, "E22")
+	for _, d := range []string{"20", "60", "180"} {
+		lead := tbl.MustMetric("lead_" + d)
+		if lead <= 0 {
+			t.Fatalf("drift %s s: no ewma lead time before crash", d)
+		}
+		if lt := tbl.MustMetric("lead_trend_" + d); lt <= 0 {
+			t.Fatalf("drift %s s: no trend lead time before crash", d)
+		}
+	}
+	// On the slow 180 s drift the trend detector should flag no later
+	// than the threshold-based one: it keys on the slope, not the level.
+	if tbl.MustMetric("lead_trend_180") < tbl.MustMetric("lead_180") {
+		t.Fatal("trend detector gave less warning than ewma on a slow drift")
+	}
+	if fp := tbl.MustMetric("false_positive_samples"); fp > 10 {
+		t.Fatalf("healthy component flagged on %v samples", fp)
+	}
+	// Longer drifts give longer warning.
+	if tbl.MustMetric("lead_180") <= tbl.MustMetric("lead_20") {
+		t.Fatal("lead time not increasing with drift duration")
+	}
+}
+
+func TestA1DetectorTradeoffs(t *testing.T) {
+	tbl := runByID(t, "A1")
+	// Faster EWMA reacts no slower than slow EWMA.
+	fast := tbl.MustMetric("lag_ewma-fast0.8")
+	slow := tbl.MustMetric("lag_ewma-fast0.1")
+	if fast < 0 || slow < 0 {
+		t.Fatal("a detector missed an unmistakable 60% drop")
+	}
+	if fast > slow {
+		t.Fatalf("fast EWMA lag %v exceeds slow EWMA lag %v", fast, slow)
+	}
+	// The hair-trigger spec detector must show more false positives than
+	// the hysteresis one.
+	hair := tbl.MustMetric("fp_spec-tol0.05-(hair-trigger)")
+	debounced := tbl.MustMetric("fp_spec-tol0.3-+-hysteresis-3")
+	if hair <= debounced {
+		t.Fatalf("hair-trigger fp %v not above debounced fp %v", hair, debounced)
+	}
+}
+
+func TestA2RegaugeInterval(t *testing.T) {
+	tbl := runByID(t, "A2")
+	fast := tbl.MustMetric("throughput_0.1")
+	slow := tbl.MustMetric("throughput_4")
+	if fast < slow {
+		t.Fatalf("fast re-gauge %v worse than slow %v under oscillation", fast, slow)
+	}
+}
+
+func TestA3PeerVsAbsolute(t *testing.T) {
+	tbl := runByID(t, "A3")
+	if tbl.MustMetric("abs_fleet_flags") < 7 {
+		t.Fatal("absolute specs failed to (wrongly) flag the fleet-wide shift")
+	}
+	if tbl.MustMetric("peer_fleet_flags") != 0 {
+		t.Fatal("peer detection flagged a benign fleet-wide shift")
+	}
+	if tbl.MustMetric("abs_single_flags") != 1 || tbl.MustMetric("peer_single_flags") != 1 {
+		t.Fatal("single divergent component not flagged exactly once by each")
+	}
+}
+
+// Cluster-backed experiments are wall-clock sensitive; assert loose
+// shapes only.
+
+func TestE14DHTShapes(t *testing.T) {
+	tbl := runByID(t, "E14")
+	healthy := tbl.MustMetric("puts_healthy")
+	gcSync := tbl.MustMetric("puts_gc_sync")
+	gcAdaptive := tbl.MustMetric("puts_gc_adaptive")
+	if gcSync > 0.8*healthy {
+		t.Fatalf("GC did not bottleneck sync replication: %v vs %v", gcSync, healthy)
+	}
+	if gcAdaptive < 1.15*gcSync {
+		t.Fatalf("adaptive %v not clearly above sync %v under GC", gcAdaptive, gcSync)
+	}
+	if tbl.MustMetric("hints") <= 0 {
+		t.Fatal("adaptive run recorded no hinted handoffs")
+	}
+}
+
+func TestE15SortHogShapes(t *testing.T) {
+	tbl := runByID(t, "E15")
+	static := tbl.MustMetric("slowdown_static-partition")
+	queue := tbl.MustMetric("slowdown_work-queue")
+	if static < 1.5 {
+		t.Fatalf("static hog slowdown %.2fx, want ~2x", static)
+	}
+	if queue > static*0.8 {
+		t.Fatalf("work queue slowdown %.2fx not clearly below static %.2fx", queue, static)
+	}
+}
+
+func TestE23ReissueShapes(t *testing.T) {
+	tbl := runByID(t, "E23")
+	wq := tbl.MustMetric("makespan_ms_work-queue")
+	reissue := tbl.MustMetric("makespan_ms_reissue")
+	if reissue > 0.75*wq {
+		t.Fatalf("reissue %v ms not clearly below work queue %v ms", reissue, wq)
+	}
+	wasted := tbl.MustMetric("wasted_reissue")
+	total := tbl.MustMetric("total_units")
+	if wasted > 0.25*total {
+		t.Fatalf("reconciliation failed: wasted %v of %v units", wasted, total)
+	}
+}
+
+func TestE24AllSchedulersComplete(t *testing.T) {
+	tbl := runByID(t, "E24")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("scheduler comparison has %d rows, want 6", len(tbl.Rows))
+	}
+	// The most stutter-aware schedulers must beat static under mid-job
+	// degradation.
+	static := tbl.MustMetric("mid_ms_static-partition")
+	wq := tbl.MustMetric("mid_ms_work-queue")
+	if wq > static {
+		t.Fatalf("work queue %v ms worse than static %v ms under degradation", wq, static)
+	}
+}
+
+func TestE30DesignDiversity(t *testing.T) {
+	tbl := runByID(t, "E30")
+	homog := "homogeneous"
+	diverse := "diverse"
+	// The correlated crash kills every homogeneous pair (data loss) but
+	// the diverse array survives on the other vendor.
+	if tbl.MustMetric("crash_survived_"+homog) != 0 {
+		t.Fatal("homogeneous array survived a correlated vendor crash")
+	}
+	if tbl.MustMetric("crash_survived_"+diverse) != 1 {
+		t.Fatal("diverse array did not survive a correlated vendor crash")
+	}
+	// Under the correlated stall, the diverse array keeps writing (its
+	// mirrors absorb the stall) and finishes faster.
+	hs := tbl.MustMetric("stall_throughput_" + homog)
+	ds := tbl.MustMetric("stall_throughput_" + diverse)
+	if ds <= hs {
+		t.Fatalf("diverse stall throughput %v not above homogeneous %v", ds, hs)
+	}
+}
+
+func TestA4DepthAblation(t *testing.T) {
+	tbl := runByID(t, "A4")
+	// Under static faults depth hardly matters.
+	if relErr(tbl.MustMetric("static_d1"), tbl.MustMetric("static_d32")) > 0.1 {
+		t.Fatal("depth changed static-fault throughput materially")
+	}
+	// Under full stalls, shallow windows strand less work.
+	if tbl.MustMetric("stall_d1") < tbl.MustMetric("stall_d32") {
+		t.Fatal("depth-1 window not at least as good as depth-32 under stalls")
+	}
+}
+
+func TestE31WindLoop(t *testing.T) {
+	tbl := runByID(t, "E31")
+	// Healthy: policies equivalent (within granularity).
+	sH := tbl.MustMetric("writes_static_healthy")
+	aH := tbl.MustMetric("writes_adaptive_healthy")
+	if relErr(aH, sH) > 0.15 {
+		t.Fatalf("healthy adaptive %v vs static %v diverge", aH, sH)
+	}
+	// Stutter: adaptive clearly ahead, with diversions recorded.
+	sS := tbl.MustMetric("writes_static_stutter")
+	aS := tbl.MustMetric("writes_adaptive_stutter")
+	if aS < 1.5*sS {
+		t.Fatalf("adaptive %v not clearly above static %v under stutter", aS, sS)
+	}
+	if tbl.MustMetric("diverted_adaptive_stutter") == 0 {
+		t.Fatal("no diversions under stutter")
+	}
+	// Crash: closed-loop static writers wedge on the dead node; adaptive
+	// keeps going after promotion.
+	sC := tbl.MustMetric("writes_static_crash")
+	aC := tbl.MustMetric("writes_adaptive_crash")
+	if aC < 1.5*sC {
+		t.Fatalf("adaptive %v not clearly above static %v after crash", aC, sC)
+	}
+}
+
+func TestE29BSPBarrierTax(t *testing.T) {
+	tbl := runByID(t, "E29")
+	static := tbl.MustMetric("slowdown_static")
+	elastic := tbl.MustMetric("slowdown_elastic")
+	if static < 2 {
+		t.Fatalf("static BSP slowdown %.2fx, want the straggler tax (~4x)", static)
+	}
+	if elastic > static*0.6 {
+		t.Fatalf("elastic BSP %.2fx not clearly below static %.2fx", elastic, static)
+	}
+}
+
+func TestE25DQPolicies(t *testing.T) {
+	tbl := runByID(t, "E25")
+	cb := tbl.MustMetric("frac_credit-based")
+	rr := tbl.MustMetric("frac_round-robin")
+	if cb < 0.8 {
+		t.Fatalf("credit-based achieved %.2f of available bandwidth", cb)
+	}
+	if rr > cb/2 {
+		t.Fatalf("round-robin %.2f not clearly below credit-based %.2f", rr, cb)
+	}
+}
+
+func TestE26GracefulDegradation(t *testing.T) {
+	tbl := runByID(t, "E26")
+	// At a 50% slow disk the static design roughly doubles while the
+	// graduated design stays near the fluid ideal.
+	static := tbl.MustMetric("static_0.50")
+	grad := tbl.MustMetric("graduated_0.50")
+	fluid := tbl.MustMetric("fluid_0.50")
+	if grad*1.5 > static {
+		t.Fatalf("graduated %v not clearly below static %v", grad, static)
+	}
+	if grad > 1.3*fluid {
+		t.Fatalf("graduated %v far from fluid ideal %v", grad, fluid)
+	}
+	// Healthy case: both designs match.
+	if relErr(tbl.MustMetric("static_1.00"), tbl.MustMetric("graduated_1.00")) > 0.2 {
+		t.Fatal("healthy static and graduated diverge")
+	}
+}
+
+func TestE27RunTimeVariance(t *testing.T) {
+	tbl := runByID(t, "E27")
+	if med := tbl.MustMetric("median"); med > 1.5 {
+		t.Fatalf("median multiplier %v; pathologies should be the tail", med)
+	}
+	worst := tbl.MustMetric("worst")
+	if worst < 2.5 || worst > 3.0 {
+		t.Fatalf("worst multiplier %v, want approaching 3x", worst)
+	}
+}
+
+func TestE28MeasurementSpread(t *testing.T) {
+	tbl := runByID(t, "E28")
+	if best := tbl.MustMetric("best_frac"); best < 0.97 {
+		t.Fatalf("best trial %.2f of peak, want ~1", best)
+	}
+	if med := tbl.MustMetric("median_frac"); med < 0.7 {
+		t.Fatalf("median trial %.2f of peak; cluster near peak missing", med)
+	}
+	worst := tbl.MustMetric("worst_frac")
+	if worst > 0.6 || worst < 0.08 {
+		t.Fatalf("worst trial %.2f of peak, want the wide low tail (~0.15-0.5)", worst)
+	}
+}
+
+// Every registered experiment must run clean in quick mode and format
+// without panicking.
+func TestAllExperimentsRunAndFormat(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(quick)
+			out := tbl.Format()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("format output missing id:\n%s", out)
+			}
+			if len(tbl.MetricKeys()) == 0 {
+				t.Fatalf("experiment %s exposes no metrics", e.ID)
+			}
+		})
+	}
+}

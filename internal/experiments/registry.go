@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes a run of the suite.
+type Config struct {
+	// Seed drives every random stream; identical seeds reproduce
+	// identical virtual-time results exactly.
+	Seed uint64
+	// Quick shrinks workload sizes and wall-clock durations so the full
+	// suite runs in seconds — used by tests and benches. Full runs (the
+	// CLI default) use the paper-scale parameters.
+	Quick bool
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(cfg Config) *Table
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at package init; duplicate ids panic.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment, ordered by id (the E-series then the
+// A-series ablations).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E-series before A-series, numeric within series.
+		pi, pj := out[i].ID[0], out[j].ID[0]
+		if pi != pj {
+			return pi == 'E'
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs returns every registered id in display order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every quantitative claim in the paper
+// as a table: the Section 3.2 RAID-10 scenarios, each surveyed
+// performance-fault phenomenon from Section 2, the Section 3 model
+// mechanisms (promotion threshold, notification policy), the Section 3.3
+// benefits (availability, incremental growth, failure prediction), the
+// Section 4 related-work baselines (Shasha-Turek reissue, River-style
+// work queues), and three design ablations. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's regenerated output: labelled rows plus named
+// scalar metrics that tests and EXPERIMENTS.md key on.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+	metrics    map[string]float64
+}
+
+// NewTable builds an empty table with the given identity and columns.
+func NewTable(id, title, claim string, columns ...string) *Table {
+	return &Table{
+		ID: id, Title: title, PaperClaim: claim,
+		Columns: columns,
+		metrics: make(map[string]float64),
+	}
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: table %s row has %d cells, want %d",
+			t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// SetMetric records a named scalar result.
+func (t *Table) SetMetric(key string, v float64) { t.metrics[key] = v }
+
+// Metric returns a named scalar result; ok is false if absent.
+func (t *Table) Metric(key string) (v float64, ok bool) {
+	v, ok = t.metrics[key]
+	return
+}
+
+// MustMetric returns a named scalar result, panicking if absent — used by
+// tests where absence is itself a failure.
+func (t *Table) MustMetric(key string) float64 {
+	v, ok := t.metrics[key]
+	if !ok {
+		panic(fmt.Sprintf("experiments: table %s has no metric %q", t.ID, key))
+	}
+	return v
+}
+
+// MetricKeys returns the metric names, sorted.
+func (t *Table) MetricKeys() []string {
+	keys := make([]string, 0, len(t.metrics))
+	for k := range t.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CSV renders the table as RFC-4180 CSV: a header row, the data rows,
+// then one `metric,<name>,<value>` row per metric. Notes are omitted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{"experiment"}, t.Columns...)
+	if err := w.Write(header); err != nil {
+		panic(err) // strings.Builder cannot fail; a write error is a bug
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(append([]string{t.ID}, row...)); err != nil {
+			panic(err)
+		}
+	}
+	for _, k := range t.MetricKeys() {
+		if err := w.Write([]string{t.ID, "metric:" + k, fmt.Sprintf("%g", t.metrics[k])}); err != nil {
+			panic(err)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, k := range t.MetricKeys() {
+		v := t.metrics[k]
+		fmt.Fprintf(&b, "metric %s = %.6g\n", k, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,354 @@
+// Package faults implements the fault-injection library. Every phenomenon
+// surveyed in Section 2 of the paper maps onto one of these injectors:
+//
+//   - fault masking (degraded caches, remapped blocks)  -> Static, StepAt
+//   - aged file-system layout                           -> Static
+//   - thermal recalibration, GC / cleaner pauses        -> PeriodicStall
+//   - SCSI timeouts and parity errors                   -> PoissonStalls
+//   - correlated SCSI bus resets across a chain         -> ChainResets
+//   - CPU / memory hogs during an interval              -> Interval
+//   - erratic, non-deterministic performance            -> RandomWalk
+//   - wear-out preceding death                          -> LinearDrift + CrashAt
+//   - absolute (fail-stop) failure                      -> CrashAt
+//
+// A performance fault is modelled as a multiplicative factor on a
+// component's service rate: 1 is nominal, 0 is a stall, values above 1
+// model faster-than-spec parts. Multiple injectors compose multiplicatively
+// through a Composite.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"failstutter/internal/sim"
+)
+
+// Target is the component-side interface injectors drive. sim.Station
+// satisfies it, as do the device wrappers.
+type Target interface {
+	// SetMultiplier sets the composed fault factor on the component.
+	SetMultiplier(m float64)
+	// Fail transitions the component to the absolutely-failed state.
+	Fail()
+}
+
+// Composite composes any number of named fault factors onto one target by
+// multiplying them. Each injector owns one slot; setting a slot recomputes
+// the product and pushes it to the target.
+type Composite struct {
+	target  Target
+	factors map[string]float64
+}
+
+// NewComposite wraps target for multi-injector composition.
+func NewComposite(target Target) *Composite {
+	return &Composite{target: target, factors: make(map[string]float64)}
+}
+
+// Set updates the factor in the named slot. Factors must be finite and
+// non-negative.
+func (c *Composite) Set(slot string, factor float64) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("faults: invalid factor %v for slot %q", factor, slot))
+	}
+	c.factors[slot] = factor
+	c.target.SetMultiplier(c.Product())
+}
+
+// Clear removes the named slot, restoring its contribution to 1.
+func (c *Composite) Clear(slot string) {
+	delete(c.factors, slot)
+	c.target.SetMultiplier(c.Product())
+}
+
+// Product returns the current composed factor.
+func (c *Composite) Product() float64 {
+	p := 1.0
+	for _, f := range c.factors {
+		p *= f
+	}
+	return p
+}
+
+// Fail forwards an absolute failure to the target.
+func (c *Composite) Fail() { c.target.Fail() }
+
+// Injector installs a fault behaviour onto a composite at simulation
+// setup. Install must be called before the simulation runs (or at least
+// before the injector's first event time).
+type Injector interface {
+	Install(s *sim.Simulator, c *Composite)
+}
+
+// slotCounter disambiguates multiple injectors of the same kind on one
+// composite.
+var slotCounter int
+
+func newSlot(kind string) string {
+	slotCounter++
+	return fmt.Sprintf("%s-%d", kind, slotCounter)
+}
+
+// Static applies a constant factor for the whole run: a component that was
+// always slower than its twin (cache fault masking, bad-block remaps, aged
+// file-system layout).
+type Static struct {
+	Factor float64
+}
+
+// Install implements Injector.
+func (f Static) Install(s *sim.Simulator, c *Composite) {
+	c.Set(newSlot("static"), f.Factor)
+}
+
+// StepAt permanently changes the factor at a point in time: a component
+// that degrades once and stays degraded (e.g. a cache bank mapped out
+// after a fault, or gradual remapping modelled coarsely).
+type StepAt struct {
+	At     sim.Time
+	Factor float64
+}
+
+// Install implements Injector.
+func (f StepAt) Install(s *sim.Simulator, c *Composite) {
+	slot := newSlot("step")
+	s.At(f.At, func() { c.Set(slot, f.Factor) })
+}
+
+// Interval applies a factor during [Start, End): interference from a
+// co-located CPU or memory hog, or load imbalance brought by a new
+// workload.
+type Interval struct {
+	Start, End sim.Time
+	Factor     float64
+}
+
+// Install implements Injector.
+func (f Interval) Install(s *sim.Simulator, c *Composite) {
+	if f.End <= f.Start {
+		panic("faults: Interval requires End > Start")
+	}
+	slot := newSlot("interval")
+	s.At(f.Start, func() { c.Set(slot, f.Factor) })
+	s.At(f.End, func() { c.Clear(slot) })
+}
+
+// PeriodicStall pauses the component for Duration every Period, with
+// optional uniform jitter on the gap: thermal recalibrations in the Tiger
+// video server, garbage-collection pauses in the DHT, log cleaner passes.
+type PeriodicStall struct {
+	Period   sim.Duration
+	Duration sim.Duration
+	// Factor is the rate factor during the stall; 0 (the zero value) is a
+	// full stop.
+	Factor float64
+	// Jitter, if positive, spreads each gap uniformly over
+	// [Period-Jitter, Period+Jitter].
+	Jitter sim.Duration
+	// RNG is required when Jitter > 0.
+	RNG *sim.RNG
+	// Until, if positive, stops injecting after this time.
+	Until sim.Time
+}
+
+// Install implements Injector.
+func (f PeriodicStall) Install(s *sim.Simulator, c *Composite) {
+	if f.Period <= 0 || f.Duration <= 0 {
+		panic("faults: PeriodicStall requires positive Period and Duration")
+	}
+	if f.Jitter > 0 && f.RNG == nil {
+		panic("faults: PeriodicStall jitter requires an RNG")
+	}
+	slot := newSlot("periodic")
+	var schedule func(next sim.Time)
+	schedule = func(next sim.Time) {
+		if f.Until > 0 && next > f.Until {
+			return
+		}
+		s.At(next, func() {
+			c.Set(slot, f.Factor)
+			s.After(f.Duration, func() {
+				c.Clear(slot)
+				gap := f.Period
+				if f.Jitter > 0 {
+					gap += f.RNG.Uniform(-f.Jitter, f.Jitter)
+					if gap < f.Duration {
+						gap = f.Duration
+					}
+				}
+				schedule(s.Now() + gap - f.Duration)
+			})
+		})
+	}
+	schedule(f.Period)
+}
+
+// PoissonStalls injects stalls with exponentially distributed gaps: SCSI
+// timeouts and parity errors, which the Talagala & Patterson farm study
+// found arriving roughly twice a day per chain.
+type PoissonStalls struct {
+	MeanInterval sim.Duration
+	Duration     sim.Duration
+	Factor       float64
+	RNG          *sim.RNG
+	Until        sim.Time
+	// OnStall, if non-nil, is invoked at the start of each stall — used by
+	// experiments to count error events.
+	OnStall func(at sim.Time)
+}
+
+// Install implements Injector.
+func (f PoissonStalls) Install(s *sim.Simulator, c *Composite) {
+	if f.MeanInterval <= 0 || f.Duration <= 0 || f.RNG == nil {
+		panic("faults: PoissonStalls requires positive intervals and an RNG")
+	}
+	slot := newSlot("poisson")
+	var schedule func()
+	schedule = func() {
+		gap := f.RNG.Exp(f.MeanInterval)
+		next := s.Now() + gap
+		if f.Until > 0 && next > f.Until {
+			return
+		}
+		s.At(next, func() {
+			if f.OnStall != nil {
+				f.OnStall(s.Now())
+			}
+			c.Set(slot, f.Factor)
+			s.After(f.Duration, func() {
+				c.Clear(slot)
+				schedule()
+			})
+		})
+	}
+	schedule()
+}
+
+// ChainResets models correlated failure propagation: a timeout on any
+// member of a group (a SCSI chain) stalls every member for the reset
+// duration. Per the farm study, "these errors often lead to SCSI bus
+// resets, affecting the performance of all disks on the degraded chain".
+type ChainResets struct {
+	MeanInterval sim.Duration // mean gap between resets for the whole chain
+	Duration     sim.Duration
+	RNG          *sim.RNG
+	Until        sim.Time
+	OnReset      func(at sim.Time)
+}
+
+// InstallGroup wires the reset schedule across all members. ChainResets is
+// not a per-component Injector because its scope is the group.
+func (f ChainResets) InstallGroup(s *sim.Simulator, members []*Composite) {
+	if f.MeanInterval <= 0 || f.Duration <= 0 || f.RNG == nil {
+		panic("faults: ChainResets requires positive intervals and an RNG")
+	}
+	slot := newSlot("chainreset")
+	var schedule func()
+	schedule = func() {
+		gap := f.RNG.Exp(f.MeanInterval)
+		next := s.Now() + gap
+		if f.Until > 0 && next > f.Until {
+			return
+		}
+		s.At(next, func() {
+			if f.OnReset != nil {
+				f.OnReset(s.Now())
+			}
+			for _, m := range members {
+				m.Set(slot, 0)
+			}
+			s.After(f.Duration, func() {
+				for _, m := range members {
+					m.Clear(slot)
+				}
+				schedule()
+			})
+		})
+	}
+	schedule()
+}
+
+// RandomWalk re-draws the factor every Interval as a bounded random walk:
+// the catch-all for erratic, unexplained performance (UltraSPARC fetch
+// logic, unexplained 30% I/O deficits).
+type RandomWalk struct {
+	Interval sim.Duration
+	Sigma    float64 // per-step normal perturbation
+	Min, Max float64 // clamp bounds, e.g. 0.3 and 1.0
+	RNG      *sim.RNG
+	Until    sim.Time
+}
+
+// Install implements Injector.
+func (f RandomWalk) Install(s *sim.Simulator, c *Composite) {
+	if f.Interval <= 0 || f.RNG == nil || f.Max < f.Min {
+		panic("faults: RandomWalk requires positive Interval, RNG, Max >= Min")
+	}
+	slot := newSlot("walk")
+	level := 1.0
+	if level > f.Max {
+		level = f.Max
+	}
+	if level < f.Min {
+		level = f.Min
+	}
+	var tick func()
+	tick = func() {
+		level += f.RNG.Norm(0, f.Sigma)
+		if level > f.Max {
+			level = f.Max
+		}
+		if level < f.Min {
+			level = f.Min
+		}
+		c.Set(slot, level)
+		next := s.Now() + f.Interval
+		if f.Until > 0 && next > f.Until {
+			return
+		}
+		s.At(next, tick)
+	}
+	s.At(f.Interval, tick)
+}
+
+// LinearDrift ramps the factor linearly from From to To over [Start, End],
+// then holds at To: progressive wear preceding failure, the paper's "erratic
+// performance may be an early indicator of impending failure". Steps sets
+// the schedule granularity.
+type LinearDrift struct {
+	Start, End sim.Time
+	From, To   float64
+	Steps      int
+}
+
+// Install implements Injector.
+func (f LinearDrift) Install(s *sim.Simulator, c *Composite) {
+	if f.End <= f.Start || f.Steps < 1 {
+		panic("faults: LinearDrift requires End > Start and Steps >= 1")
+	}
+	slot := newSlot("drift")
+	for i := 0; i <= f.Steps; i++ {
+		frac := float64(i) / float64(f.Steps)
+		at := f.Start + frac*(f.End-f.Start)
+		factor := f.From + frac*(f.To-f.From)
+		s.At(at, func() { c.Set(slot, factor) })
+	}
+}
+
+// CrashAt fails the component absolutely at the given time (fail-stop).
+type CrashAt struct {
+	At sim.Time
+}
+
+// Install implements Injector.
+func (f CrashAt) Install(s *sim.Simulator, c *Composite) {
+	s.At(f.At, func() { c.Fail() })
+}
+
+// InstallAll installs each injector on the composite.
+func InstallAll(s *sim.Simulator, c *Composite, injectors ...Injector) {
+	for _, inj := range injectors {
+		inj.Install(s, c)
+	}
+}

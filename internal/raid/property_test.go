@@ -1,0 +1,166 @@
+package raid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"failstutter/internal/faults"
+	"failstutter/internal/sim"
+)
+
+// Property: under arbitrary (non-fatal) fault schedules, every adaptive
+// job completes with exactly `blocks` logical writes, distributed across
+// live pairs, and throughput never exceeds the aggregate nominal rate.
+func TestAdaptiveConservationUnderRandomFaults(t *testing.T) {
+	f := func(seed uint64, rawFaults []uint8) bool {
+		s := sim.New()
+		rates := []float64{1e6, 1e6, 1e6, 1e6}
+		a := testArray(s, rates)
+		rng := sim.NewRNG(seed)
+		// Build a random non-fatal fault schedule from the fuzz input:
+		// interval degradations and periodic stalls on random disks.
+		for i, v := range rawFaults {
+			if i >= 6 {
+				break
+			}
+			pair := a.Pairs()[int(v)%len(rates)]
+			disk := pair.A
+			if v%2 == 1 {
+				disk = pair.B
+			}
+			start := rng.Uniform(0, 5)
+			switch v % 3 {
+			case 0:
+				faults.Interval{Start: start, End: start + rng.Uniform(0.5, 3), Factor: rng.Uniform(0.05, 0.8)}.
+					Install(s, disk.Composite())
+			case 1:
+				faults.PeriodicStall{Period: rng.Uniform(1, 3), Duration: rng.Uniform(0.2, 0.8), Until: 60}.
+					Install(s, disk.Composite())
+			case 2:
+				faults.StepAt{At: start, Factor: rng.Uniform(0.2, 0.9)}.
+					Install(s, disk.Composite())
+			}
+		}
+		const blocks = 1000
+		res, err := WriteAndMeasure(s, a, AdaptivePull{Depth: 2}, blocks)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, n := range res.PerPair {
+			sum += n
+		}
+		if sum != blocks {
+			return false
+		}
+		// Throughput can never beat the fault-free aggregate.
+		aggregate := 4e6
+		return res.Throughput <= aggregate*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adaptive placement never loses to static-equal by more than
+// the issue-granularity margin, across random single-pair degradations.
+func TestAdaptiveNeverWorseThanStatic(t *testing.T) {
+	f := func(deficit8 uint8, pair8 uint8) bool {
+		deficit := 0.1 + 0.85*float64(deficit8)/255 // 0.1 .. 0.95
+		pairIdx := int(pair8) % 4
+
+		run := func(st Striper) float64 {
+			s := sim.New()
+			a := testArray(s, []float64{1e6, 1e6, 1e6, 1e6})
+			faults.Static{Factor: 1 - deficit}.Install(s, a.Pairs()[pairIdx].A.Composite())
+			res, err := WriteAndMeasure(s, a, st, 1500)
+			if err != nil {
+				return -1
+			}
+			return res.Throughput
+		}
+		static := run(StaticEqual{})
+		adaptive := run(AdaptivePull{Depth: 2})
+		if static < 0 || adaptive < 0 {
+			return false
+		}
+		return adaptive >= static*0.98
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gauged shares always sum to the job size and scale with the
+// gauged rates (the slowest pair never receives the largest share when
+// deficits are material).
+func TestGaugedSharesReflectRates(t *testing.T) {
+	f := func(deficit8 uint8) bool {
+		deficit := 0.3 + 0.6*float64(deficit8)/255 // 0.3 .. 0.9
+		s := sim.New()
+		a := testArray(s, []float64{1e6, 1e6, 1e6, 1e6 * (1 - deficit)})
+		res, err := WriteAndMeasure(s, a, GaugedProportional{ProbeBlocks: 32}, 2000)
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for _, n := range res.PerPair {
+			sum += n
+		}
+		if sum != 2000 {
+			return false
+		}
+		slow := res.PerPair[3]
+		for _, n := range res.PerPair[:3] {
+			if slow >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: an adaptive job survives any single-disk crash (the
+// mirror absorbs it) and any single-pair crash (reissue absorbs it).
+func TestAdaptiveSurvivesCrashMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		crash  func(a *Array, s *sim.Simulator)
+		halted bool
+	}{
+		{"single disk", func(a *Array, s *sim.Simulator) {
+			s.At(1, a.Pairs()[1].A.Fail)
+		}, false},
+		{"both disks of one pair", func(a *Array, s *sim.Simulator) {
+			s.At(1, a.Pairs()[1].A.Fail)
+			s.At(1.5, a.Pairs()[1].B.Fail)
+		}, true},
+		{"one disk in each of two pairs", func(a *Array, s *sim.Simulator) {
+			s.At(1, a.Pairs()[0].A.Fail)
+			s.At(1.5, a.Pairs()[2].B.Fail)
+		}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := sim.New()
+			a := testArray(s, []float64{1e6, 1e6, 1e6, 1e6})
+			tc.crash(a, s)
+			res, err := WriteAndMeasure(s, a, AdaptivePull{Depth: 2}, 3000)
+			if err != nil {
+				t.Fatalf("job failed: %v", err)
+			}
+			var sum int64
+			for _, n := range res.PerPair {
+				sum += n
+			}
+			if sum != 3000 {
+				t.Fatalf("per-pair sum %d != 3000", sum)
+			}
+			if a.Halted() != tc.halted {
+				t.Fatalf("halted = %v, want %v", a.Halted(), tc.halted)
+			}
+		})
+	}
+}

@@ -1,0 +1,334 @@
+// Package raid implements the RAID-10 storage substrate of the paper's
+// Section 3.2 worked example: data blocks are striped (RAID-0) across a
+// set of mirrored pairs (RAID-1). Three striping policies of increasing
+// fail-stutter awareness — static equal, install-time gauged, and
+// continuously adaptive — reproduce the paper's three design scenarios,
+// and hot-spare reconstruction covers the fail-stop side of the model.
+package raid
+
+import (
+	"fmt"
+
+	"failstutter/internal/device"
+	"failstutter/internal/sim"
+)
+
+// MirrorPair is a RAID-1 pair of disks. Writes go to every live member
+// and complete when the slowest member finishes, so the pair's write rate
+// is the minimum of its disks — the reason the paper suggests pairing
+// disks that perform similarly.
+type MirrorPair struct {
+	ID int
+	A  *device.Disk
+	B  *device.Disk
+
+	s           *sim.Simulator
+	nextBlock   int64
+	done        uint64
+	lost        uint64
+	outstanding map[*writeOp]struct{}
+}
+
+// writeOp tracks one logical mirrored write until it is durable on every
+// live member, or lost because every member it reached has died.
+type writeOp struct {
+	pending   map[*device.Disk]bool
+	completed int
+	finished  bool
+	onDone    func()
+	onFail    func()
+}
+
+// NewMirrorPair builds a pair over two disks and wires failure
+// accounting: when a disk dies, writes outstanding on it are resolved —
+// completed if a surviving copy lands, lost otherwise — so stripers can
+// reissue.
+func NewMirrorPair(s *sim.Simulator, id int, a, b *device.Disk) *MirrorPair {
+	p := &MirrorPair{ID: id, A: a, B: b, s: s, outstanding: make(map[*writeOp]struct{})}
+	a.OnFail(func() { p.diskFailed(a) })
+	b.OnFail(func() { p.diskFailed(b) })
+	return p
+}
+
+// diskFailed drops the dead disk from every outstanding write.
+func (p *MirrorPair) diskFailed(d *device.Disk) {
+	for op := range p.outstanding {
+		if op.pending[d] {
+			delete(op.pending, d)
+			p.resolve(op)
+		}
+	}
+}
+
+// resolve finishes an op whose pending set has drained.
+func (p *MirrorPair) resolve(op *writeOp) {
+	if op.finished || len(op.pending) != 0 {
+		return
+	}
+	op.finished = true
+	delete(p.outstanding, op)
+	if op.completed > 0 {
+		p.done++
+		if op.onDone != nil {
+			op.onDone()
+		}
+		return
+	}
+	p.lost++
+	if op.onFail != nil {
+		op.onFail()
+	}
+}
+
+// Failed reports whether both members are dead (the pair, and with it the
+// array, has lost data).
+func (p *MirrorPair) Failed() bool { return p.A.Failed() && p.B.Failed() }
+
+// Degraded reports whether exactly one member is dead.
+func (p *MirrorPair) Degraded() bool { return p.A.Failed() != p.B.Failed() }
+
+// BlocksWritten returns completed logical block writes.
+func (p *MirrorPair) BlocksWritten() uint64 { return p.done }
+
+// BlocksLost returns logical writes abandoned because every live member
+// they were issued to failed before completion.
+func (p *MirrorPair) BlocksLost() uint64 { return p.lost }
+
+// live returns the pair's live members.
+func (p *MirrorPair) live() []*device.Disk {
+	var ds []*device.Disk
+	if !p.A.Failed() {
+		ds = append(ds, p.A)
+	}
+	if !p.B.Failed() {
+		ds = append(ds, p.B)
+	}
+	return ds
+}
+
+// WriteBlock appends one logical block to the pair: a mirrored write to
+// every live member. onDone fires when every live copy lands; onFail
+// fires instead if every member the write reached dies first. Writing to
+// a fully failed pair invokes onFail immediately (after the current
+// event, to keep callback ordering sane).
+func (p *MirrorPair) WriteBlock(onDone func(), onFail func()) {
+	targets := p.live()
+	if len(targets) == 0 {
+		p.lost++
+		if onFail != nil {
+			p.s.After(0, onFail)
+		}
+		return
+	}
+	block := p.nextBlock
+	p.nextBlock++
+	op := &writeOp{pending: make(map[*device.Disk]bool, len(targets)), onDone: onDone, onFail: onFail}
+	for _, d := range targets {
+		op.pending[d] = true
+	}
+	p.outstanding[op] = struct{}{}
+	for _, d := range targets {
+		d := d
+		d.Write(block, 1, func(float64) {
+			if op.pending[d] {
+				delete(op.pending, d)
+				op.completed++
+				p.resolve(op)
+			}
+		})
+	}
+}
+
+// ReadBlock reads a previously appended logical block from the pair.
+// The request goes to the live member with the shorter queue; if
+// hedgeAfter is positive and the read has not completed within that many
+// seconds, a duplicate is issued to the other live member and the first
+// completion wins — the per-request promotion threshold of the
+// fail-stutter model, applied to reads. Without a healthy mirror to hedge
+// onto (a correlated fault, or a degraded pair) hedging cannot help,
+// which is exactly the design-diversity argument of Section 3.3. onFail
+// fires if no live member remains at issue time. Reading past the append
+// point panics: it is always a caller bug.
+func (p *MirrorPair) ReadBlock(block int64, hedgeAfter sim.Duration, onDone func(latency float64), onFail func()) {
+	if block < 0 || block >= p.nextBlock {
+		panic(fmt.Sprintf("raid: pair %d read of unwritten block %d", p.ID, block))
+	}
+	targets := p.live()
+	if len(targets) == 0 {
+		if onFail != nil {
+			p.s.After(0, onFail)
+		}
+		return
+	}
+	best := targets[0]
+	for _, d := range targets[1:] {
+		if d.QueueLen() < best.QueueLen() {
+			best = d
+		}
+	}
+	start := p.s.Now()
+	finished := false
+	finish := func(float64) {
+		if finished {
+			return
+		}
+		finished = true
+		if onDone != nil {
+			onDone(p.s.Now() - start)
+		}
+	}
+	best.Read(block, 1, finish)
+	if hedgeAfter > 0 {
+		p.s.After(hedgeAfter, func() {
+			if finished {
+				return
+			}
+			for _, d := range p.live() {
+				if d != best {
+					d.Read(block, 1, finish)
+					return
+				}
+			}
+		})
+	}
+}
+
+// Array is a RAID-10 array: logical blocks striped over mirror pairs.
+type Array struct {
+	s          *sim.Simulator
+	pairs      []*MirrorPair
+	blockBytes float64
+
+	// blockMap records, for each logical block written through a
+	// bookkeeping policy, which pair holds it. Static policies do not
+	// need it; the adaptive policy's map growth is the "increased
+	// bookkeeping" cost the paper calls out, measured by ablation A2.
+	blockMap []int
+}
+
+// NewArray builds an array over the given pairs.
+func NewArray(s *sim.Simulator, pairs []*MirrorPair, blockBytes float64) *Array {
+	if len(pairs) == 0 || blockBytes <= 0 {
+		panic("raid: array needs pairs and a positive block size")
+	}
+	return &Array{s: s, pairs: pairs, blockBytes: blockBytes}
+}
+
+// Pairs returns the array's mirror pairs.
+func (a *Array) Pairs() []*MirrorPair { return a.pairs }
+
+// BlockBytes returns the logical block size.
+func (a *Array) BlockBytes() float64 { return a.blockBytes }
+
+// Halted reports whether any pair has fully failed (RAID-10 data loss:
+// "if two disks in a mirror-pair fail, operation is halted").
+func (a *Array) Halted() bool {
+	for _, p := range a.pairs {
+		if p.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// BookkeepingEntries returns the number of block-placement records the
+// array currently holds.
+func (a *Array) BookkeepingEntries() int { return len(a.blockMap) }
+
+// recordPlacement appends a block->pair record.
+func (a *Array) recordPlacement(pair int) { a.blockMap = append(a.blockMap, pair) }
+
+// PairRates measures each pair's recent write rate in blocks/s from
+// completion counters sampled over the given window by the caller; here
+// it simply reports blocks written so callers can diff. (See
+// Striper implementations for use.)
+func (a *Array) pairCompletions() []uint64 {
+	out := make([]uint64, len(a.pairs))
+	for i, p := range a.pairs {
+		out[i] = p.BlocksWritten()
+	}
+	return out
+}
+
+// GaugePairRates benchmarks each pair once with probeBlocks mirrored
+// writes and returns per-pair rates in blocks/second. This is the paper's
+// install-time gauging: it observes whatever the disks actually deliver,
+// including any masked faults present at install time. The simulation
+// runs during gauging; call before starting the measured workload.
+func (a *Array) GaugePairRates(probeBlocks int64) []float64 {
+	if probeBlocks <= 0 {
+		panic("raid: probeBlocks must be positive")
+	}
+	rates := make([]float64, len(a.pairs))
+	for i, p := range a.pairs {
+		start := a.s.Now()
+		remaining := probeBlocks
+		finish := start
+		done := false
+		var issue func()
+		issue = func() {
+			if remaining == 0 {
+				// The probe's own completion stamps the finish time and
+				// halts the run: open-ended fault injectors may otherwise
+				// keep the event queue alive indefinitely.
+				finish = a.s.Now()
+				done = true
+				a.s.Stop()
+				return
+			}
+			remaining--
+			p.WriteBlock(issue, nil)
+		}
+		issue()
+		a.s.Run()
+		if done && finish > start {
+			rates[i] = float64(probeBlocks) / (finish - start)
+		}
+	}
+	return rates
+}
+
+// Result summarizes one striped write job.
+type Result struct {
+	Policy      string
+	Blocks      int64
+	Makespan    float64
+	Throughput  float64 // bytes per second
+	PerPair     []int64
+	Bookkeeping int
+	Reissued    int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d blocks in %.3fs = %.3g B/s (bookkeeping %d, reissued %d)",
+		r.Policy, r.Blocks, r.Makespan, r.Throughput, r.Bookkeeping, r.Reissued)
+}
+
+// Striper is a placement policy for a striped write job.
+type Striper interface {
+	Name() string
+	// Run writes `blocks` logical blocks through the array, invoking
+	// onDone with the job summary when the last block lands. The caller
+	// drives the simulator.
+	Run(a *Array, blocks int64, onDone func(Result))
+}
+
+// WriteAndMeasure runs a striper to completion and returns its result.
+// It is the convenience entry point used by experiments; it runs the
+// simulator until the job finishes or no further progress is possible.
+func WriteAndMeasure(s *sim.Simulator, a *Array, st Striper, blocks int64) (Result, error) {
+	var res Result
+	finished := false
+	st.Run(a, blocks, func(r Result) {
+		res = r
+		finished = true
+		// Halt the run loop: open-ended fault injectors may otherwise
+		// keep scheduling events long after the job is done.
+		s.Stop()
+	})
+	s.Run()
+	if !finished {
+		return Result{}, fmt.Errorf("raid: %s job did not complete (array halted: %v)", st.Name(), a.Halted())
+	}
+	return res, nil
+}

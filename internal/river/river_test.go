@@ -1,0 +1,176 @@
+package river
+
+import (
+	"math"
+	"testing"
+
+	"failstutter/internal/sim"
+)
+
+func TestDQPolicyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || RandomChoice.String() != "random" ||
+		CreditBased.String() != "credit-based" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Fatal("unknown policy name wrong")
+	}
+}
+
+func TestDQValidation(t *testing.T) {
+	s := sim.New()
+	for i, p := range []DQParams{
+		{},
+		{Consumers: 2, ConsumerRate: 10},
+		{Consumers: 2, ConsumerRate: 10, QueueCap: 4, Policy: RandomChoice}, // no RNG
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad params %d accepted", i)
+				}
+			}()
+			NewDQ(s, p)
+		}()
+	}
+}
+
+func runDQ(t *testing.T, policy Policy, slowFactor float64, n int64) (makespan float64, perConsumer []int64) {
+	t.Helper()
+	s := sim.New()
+	dq := NewDQ(s, DQParams{
+		Consumers: 4, ConsumerRate: 100, QueueCap: 4,
+		Policy: policy, RNG: sim.NewRNG(7),
+	})
+	if slowFactor > 0 {
+		dq.ConsumerComposite(0).Set("slow", slowFactor)
+	}
+	done := false
+	dq.Produce(n, func(m sim.Duration) { makespan = m; done = true })
+	s.Run()
+	if !done {
+		t.Fatal("DQ run did not complete")
+	}
+	perConsumer = make([]int64, 4)
+	for i := range perConsumer {
+		perConsumer[i] = dq.ConsumerDone(i)
+	}
+	if dq.Delivered() != n {
+		t.Fatalf("delivered %d of %d", dq.Delivered(), n)
+	}
+	return makespan, perConsumer
+}
+
+func TestDQHealthyAllPoliciesEquivalent(t *testing.T) {
+	// With identical consumers, every policy approaches n/(4*rate).
+	ideal := 2000.0 / (4 * 100)
+	for _, p := range []Policy{RoundRobin, RandomChoice, CreditBased} {
+		makespan, _ := runDQ(t, p, 0, 2000)
+		if makespan < ideal*0.95 || makespan > ideal*1.5 {
+			t.Fatalf("%v healthy makespan %v, ideal %v", p, makespan, ideal)
+		}
+	}
+}
+
+func TestDQCreditBasedShedsSlowConsumer(t *testing.T) {
+	// Consumer 0 at 10% speed. Round-robin blocks head-of-line on its full
+	// queue; credit-based routes around it and approaches the available
+	// aggregate rate (3.1x100).
+	rrMakespan, _ := runDQ(t, RoundRobin, 0.1, 2000)
+	cbMakespan, perConsumer := runDQ(t, CreditBased, 0.1, 2000)
+	if cbMakespan*2 > rrMakespan {
+		t.Fatalf("credit-based %v not clearly faster than round-robin %v", cbMakespan, rrMakespan)
+	}
+	available := 2000.0 / (3.1 * 100)
+	if cbMakespan > available*1.2 {
+		t.Fatalf("credit-based makespan %v, available-bandwidth ideal %v", cbMakespan, available)
+	}
+	if perConsumer[0] >= perConsumer[1]/2 {
+		t.Fatalf("slow consumer got %d records vs healthy %d; shedding absent",
+			perConsumer[0], perConsumer[1])
+	}
+}
+
+func TestDQWorkConservation(t *testing.T) {
+	_, perConsumer := runDQ(t, CreditBased, 0.5, 1234)
+	var sum int64
+	for _, c := range perConsumer {
+		sum += c
+	}
+	if sum != 1234 {
+		t.Fatalf("per-consumer sum %d != produced 1234", sum)
+	}
+}
+
+func TestGDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad GD params accepted")
+		}
+	}()
+	NewGD(sim.New(), GDParams{})
+}
+
+func runGD(t *testing.T, graduated bool, slowFactor float64) (makespan float64, g *GD) {
+	t.Helper()
+	s := sim.New()
+	g = NewGD(s, GDParams{
+		Partitions: 8, PartitionRecords: 400, DiskRate: 100,
+		Graduated: graduated, Window: 2,
+	})
+	if slowFactor > 0 {
+		g.DiskComposite(0).Set("slow", slowFactor)
+	}
+	done := false
+	g.Run(func(m sim.Duration, _ []sim.Duration) { makespan = m; done = true })
+	s.Run()
+	if !done {
+		t.Fatal("GD run did not complete")
+	}
+	return makespan, g
+}
+
+func TestGDHealthyMatchesIdeal(t *testing.T) {
+	for _, graduated := range []bool{false, true} {
+		makespan, g := runGD(t, graduated, 0)
+		if math.Abs(makespan-g.IdealMakespan())/g.IdealMakespan() > 0.15 {
+			t.Fatalf("graduated=%v healthy makespan %v, ideal %v",
+				graduated, makespan, g.IdealMakespan())
+		}
+	}
+}
+
+func TestGDGracefulDegradation(t *testing.T) {
+	// One disk at 50%: the static design's makespan doubles for the
+	// unlucky partition; graduated declustering spreads the deficit so the
+	// whole read set degrades by ~1/(2P) — River's headline property.
+	staticSpan, gs := runGD(t, false, 0.5)
+	gradSpan, gg := runGD(t, true, 0.5)
+	if gradSpan*1.5 > staticSpan {
+		t.Fatalf("graduated %v not clearly better than static %v", gradSpan, staticSpan)
+	}
+	if staticSpan < gs.DegradedIdeal(0.5)*0.9 {
+		t.Fatalf("static span %v below its own lower bound %v", staticSpan, gs.DegradedIdeal(0.5))
+	}
+	// Graduated should stay within ~25% of the fluid limit.
+	if gradSpan > gg.DegradedIdeal(0.5)*1.25 {
+		t.Fatalf("graduated span %v, fluid ideal %v", gradSpan, gg.DegradedIdeal(0.5))
+	}
+}
+
+func TestGDDegradedIdealShape(t *testing.T) {
+	s := sim.New()
+	g := NewGD(s, GDParams{Partitions: 8, PartitionRecords: 400, DiskRate: 100, Graduated: true})
+	healthy := g.DegradedIdeal(1)
+	if math.Abs(healthy-g.IdealMakespan()) > 1e-9 {
+		t.Fatalf("DegradedIdeal(1) = %v, want ideal %v", healthy, g.IdealMakespan())
+	}
+	if g.DegradedIdeal(0.5) <= healthy {
+		t.Fatal("degraded ideal not worse than healthy")
+	}
+	s2 := sim.New()
+	gStatic := NewGD(s2, GDParams{Partitions: 8, PartitionRecords: 400, DiskRate: 100})
+	if gStatic.DegradedIdeal(0.5) <= g.DegradedIdeal(0.5) {
+		t.Fatal("static ideal not worse than graduated ideal")
+	}
+}

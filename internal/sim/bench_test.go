@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		if s.Pending() > 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkEventChain(b *testing.B) {
+	s := New()
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			s.After(0.001, next)
+		}
+	}
+	s.After(0, next)
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkStationThroughput(b *testing.B) {
+	s := New()
+	st := NewStation(s, "bench", 1e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SubmitFunc(1, nil)
+		if st.QueueLen() > 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkStationRateChanges(b *testing.B) {
+	s := New()
+	st := NewStation(s, "bench", 1e6)
+	st.SubmitFunc(float64(b.N)+1e9, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SetMultiplier(0.5 + float64(i%2)/2)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGNorm(b *testing.B) {
+	r := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm(0, 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"failstutter/internal/sim"
+)
+
+// A station serves work at a time-varying rate; a performance fault is
+// just a multiplier.
+func ExampleStation() {
+	s := sim.New()
+	st := sim.NewStation(s, "disk", 10) // 10 units/s
+	st.SubmitFunc(100, func(r *sim.Request) {
+		fmt.Printf("finished at t=%v\n", r.Finished)
+	})
+	// Halve the rate five seconds in: the remaining 50 units take 10 s.
+	s.At(5, func() { st.SetMultiplier(0.5) })
+	s.Run()
+	// Output:
+	// finished at t=15
+}
+
+// Deterministic random streams: forking by name isolates components.
+func ExampleRNG_Fork() {
+	root := sim.NewRNG(42)
+	a := root.Fork("disk-0")
+	b := sim.NewRNG(42).Fork("disk-0")
+	fmt.Println(a.Uint64() == b.Uint64())
+	// Output:
+	// true
+}

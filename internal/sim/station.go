@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Request is one unit of work submitted to a Station. Size is measured in
+// the station's work units (bytes for a disk, messages for a link); the
+// station drains Size at its current effective rate.
+type Request struct {
+	// Size is the amount of work, in station units.
+	Size float64
+	// Tag is an opaque caller label carried through to completion.
+	Tag any
+	// OnDone, if non-nil, runs when the request finishes service.
+	OnDone func(*Request)
+
+	// Enqueued, Started and Finished record the request's timeline.
+	Enqueued Time
+	Started  Time
+	Finished Time
+
+	remaining float64
+}
+
+// Wait returns the time the request spent queued before service began.
+func (r *Request) Wait() Duration { return r.Started - r.Enqueued }
+
+// Latency returns the total time from submission to completion.
+func (r *Request) Latency() Duration { return r.Finished - r.Enqueued }
+
+// Station is a first-come-first-served single server with a time-varying
+// service rate. The effective rate is baseRate x multiplier; a multiplier
+// of zero stalls the server (work in progress is preserved and resumes when
+// the rate becomes positive again). This is the building block for every
+// simulated device: performance faults modulate the multiplier, absolute
+// faults fail the station.
+type Station struct {
+	sim  *Simulator
+	name string
+
+	baseRate float64
+	mult     float64
+	failed   bool
+
+	queue []*Request
+	cur   *Request
+	timer *Timer
+	// lastProgress is the time at which cur.remaining was last brought up
+	// to date.
+	lastProgress Time
+
+	// Accounting.
+	busy      Duration // time spent actively serving at a positive rate
+	completed uint64
+	abandoned uint64
+}
+
+// NewStation creates a station served at rate units/second.
+func NewStation(s *Simulator, name string, rate float64) *Station {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("sim: station %q with invalid rate %v", name, rate))
+	}
+	return &Station{sim: s, name: name, baseRate: rate, mult: 1}
+}
+
+// Name returns the station's identifying label.
+func (st *Station) Name() string { return st.name }
+
+// BaseRate returns the station's nominal service rate.
+func (st *Station) BaseRate() float64 { return st.baseRate }
+
+// Multiplier returns the current fault multiplier.
+func (st *Station) Multiplier() float64 { return st.mult }
+
+// EffectiveRate returns the current service rate after fault modulation.
+// A failed station has rate zero.
+func (st *Station) EffectiveRate() float64 {
+	if st.failed {
+		return 0
+	}
+	return st.baseRate * st.mult
+}
+
+// QueueLen returns the number of requests waiting behind the one in
+// service.
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// InService returns the request currently being served, or nil.
+func (st *Station) InService() *Request { return st.cur }
+
+// Completed returns the number of requests fully served.
+func (st *Station) Completed() uint64 { return st.completed }
+
+// Abandoned returns the number of requests dropped by Fail.
+func (st *Station) Abandoned() uint64 { return st.abandoned }
+
+// BusyTime returns the cumulative time the server spent draining work at a
+// positive rate.
+func (st *Station) BusyTime() Duration {
+	st.progress()
+	return st.busy
+}
+
+// Utilization returns BusyTime divided by elapsed simulation time.
+func (st *Station) Utilization() float64 {
+	if st.sim.Now() == 0 {
+		return 0
+	}
+	return st.BusyTime() / st.sim.Now()
+}
+
+// Failed reports whether the station has absolutely failed.
+func (st *Station) Failed() bool { return st.failed }
+
+// Submit enqueues a request. It panics on non-positive sizes, which always
+// indicate a workload-generator bug. Requests submitted to a failed station
+// are counted as abandoned and their OnDone is never called.
+func (st *Station) Submit(r *Request) {
+	if r.Size <= 0 || math.IsNaN(r.Size) {
+		panic(fmt.Sprintf("sim: station %q request with invalid size %v", st.name, r.Size))
+	}
+	if st.failed {
+		st.abandoned++
+		return
+	}
+	r.Enqueued = st.sim.Now()
+	r.remaining = r.Size
+	if st.cur == nil {
+		st.start(r)
+		return
+	}
+	st.queue = append(st.queue, r)
+}
+
+// SubmitFunc is a convenience wrapper building a Request from a size and a
+// completion callback.
+func (st *Station) SubmitFunc(size float64, onDone func(*Request)) *Request {
+	r := &Request{Size: size, OnDone: onDone}
+	st.Submit(r)
+	return r
+}
+
+// SetMultiplier changes the fault multiplier, preserving progress on the
+// request in service. Multipliers must be finite and non-negative; values
+// above 1 model components faster than their nominal specification.
+func (st *Station) SetMultiplier(m float64) {
+	if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		panic(fmt.Sprintf("sim: station %q invalid multiplier %v", st.name, m))
+	}
+	if m == st.mult {
+		return
+	}
+	st.progress()
+	st.mult = m
+	st.reschedule()
+}
+
+// Fail transitions the station to the absolutely-failed state, abandoning
+// the queue and any request in service (fail-stop semantics: the component
+// stops and does no further work).
+func (st *Station) Fail() {
+	if st.failed {
+		return
+	}
+	st.progress()
+	st.failed = true
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+	if st.cur != nil {
+		st.abandoned++
+		st.cur = nil
+	}
+	st.abandoned += uint64(len(st.queue))
+	st.queue = nil
+}
+
+// Repair returns a failed station to service with an empty queue, modeling
+// replacement by a fresh component.
+func (st *Station) Repair() {
+	if !st.failed {
+		return
+	}
+	st.failed = false
+	st.mult = 1
+}
+
+// progress charges elapsed service time against the current request and
+// the busy-time account.
+func (st *Station) progress() {
+	now := st.sim.Now()
+	if st.cur != nil {
+		rate := st.EffectiveRate()
+		if rate > 0 {
+			elapsed := now - st.lastProgress
+			st.cur.remaining -= elapsed * rate
+			if st.cur.remaining < 0 {
+				st.cur.remaining = 0
+			}
+			st.busy += elapsed
+		}
+	}
+	st.lastProgress = now
+}
+
+// start begins service of r immediately.
+func (st *Station) start(r *Request) {
+	st.cur = r
+	r.Started = st.sim.Now()
+	st.lastProgress = r.Started
+	st.reschedule()
+}
+
+// reschedule (re)computes the completion event for the request in service
+// under the current effective rate.
+func (st *Station) reschedule() {
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+	if st.cur == nil {
+		return
+	}
+	rate := st.EffectiveRate()
+	if rate <= 0 {
+		return // stalled: completion will be scheduled when rate recovers
+	}
+	d := st.cur.remaining / rate
+	st.timer = st.sim.After(d, st.finish)
+}
+
+// finish completes the request in service and starts the next one.
+func (st *Station) finish() {
+	st.progress()
+	r := st.cur
+	st.cur = nil
+	st.timer = nil
+	if r == nil {
+		return
+	}
+	r.Finished = st.sim.Now()
+	st.completed++
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		copy(st.queue, st.queue[1:])
+		st.queue = st.queue[:len(st.queue)-1]
+		st.start(next)
+	}
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+}

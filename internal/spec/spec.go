@@ -1,0 +1,155 @@
+// Package spec implements performance specifications, the piece Section
+// 3.1 of the paper identifies as necessary to define a performance fault:
+// "A component should be considered performance-faulty if it has not
+// absolutely failed ... and when its performance is less than that of its
+// performance specification."
+//
+// A Spec pairs an expected service rate with a tolerance band and a
+// promotion timeout T: a component delivering nothing for longer than T is
+// promoted from performance-faulty to absolutely failed, resolving the
+// paper's "arbitrarily slow" ambiguity.
+package spec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Verdict classifies a component's current behaviour against its spec.
+type Verdict int
+
+const (
+	// Nominal: performing within the specification's tolerance.
+	Nominal Verdict = iota
+	// PerfFaulty: working, but below the acceptable rate — the paper's
+	// performance fault.
+	PerfFaulty
+	// AbsoluteFaulty: stopped (or silent beyond the promotion timeout) —
+	// the classic fail-stop fault.
+	AbsoluteFaulty
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Nominal:
+		return "nominal"
+	case PerfFaulty:
+		return "perf-faulty"
+	case AbsoluteFaulty:
+		return "absolute-faulty"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Spec is a component performance specification. The paper notes a
+// trade-off: the simpler the stated model ("this disk delivers 10 MB/s"),
+// the more often reality will be declared faulty. Tolerance widens the
+// acceptable band to tune that trade-off.
+type Spec struct {
+	// ExpectedRate is the nominal service rate in component units/second.
+	ExpectedRate float64
+	// Tolerance is the accepted fractional shortfall: with 0.2, anything
+	// above 80% of ExpectedRate is nominal.
+	Tolerance float64
+	// PromotionTimeout is T: a component making no progress for longer
+	// than T is treated as absolutely failed. Zero disables promotion.
+	PromotionTimeout float64
+}
+
+// Validate reports whether the spec's fields are coherent.
+func (s Spec) Validate() error {
+	switch {
+	case s.ExpectedRate <= 0 || math.IsNaN(s.ExpectedRate) || math.IsInf(s.ExpectedRate, 0):
+		return fmt.Errorf("spec: expected rate %v must be positive and finite", s.ExpectedRate)
+	case s.Tolerance < 0 || s.Tolerance >= 1 || math.IsNaN(s.Tolerance):
+		return fmt.Errorf("spec: tolerance %v must be in [0, 1)", s.Tolerance)
+	case s.PromotionTimeout < 0 || math.IsNaN(s.PromotionTimeout):
+		return fmt.Errorf("spec: promotion timeout %v must be non-negative", s.PromotionTimeout)
+	}
+	return nil
+}
+
+// MinAcceptable returns the lowest rate the spec accepts as nominal.
+func (s Spec) MinAcceptable() float64 {
+	return s.ExpectedRate * (1 - s.Tolerance)
+}
+
+// JudgeRate classifies an instantaneous rate observation, without the
+// temporal context needed for promotion: a zero rate is performance-faulty
+// here, not absolute, because only sustained silence (see Tracker) can
+// justify promotion.
+func (s Spec) JudgeRate(observed float64) Verdict {
+	if observed < s.MinAcceptable() {
+		return PerfFaulty
+	}
+	return Nominal
+}
+
+// Tracker adds the temporal dimension: it watches a stream of
+// (time, rate) observations and applies the promotion timeout. It is the
+// spec-side half of fault classification; detectors in internal/detect add
+// statistical smoothing on top.
+type Tracker struct {
+	spec         Spec
+	lastProgress float64
+	sawAnything  bool
+	lastRate     float64
+	lastTime     float64
+}
+
+// NewTracker builds a tracker for the given spec. It panics on an invalid
+// spec, which always indicates a configuration bug.
+func NewTracker(s Spec) *Tracker {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tracker{spec: s}
+}
+
+// Spec returns the tracked specification.
+func (t *Tracker) Spec() Spec { return t.spec }
+
+// Observe records the component's service rate at time now. Observations
+// must be delivered in non-decreasing time order.
+func (t *Tracker) Observe(now, rate float64) {
+	if t.sawAnything && now < t.lastTime {
+		panic(fmt.Sprintf("spec: observation at %v before %v", now, t.lastTime))
+	}
+	if !t.sawAnything {
+		t.lastProgress = now
+	}
+	t.sawAnything = true
+	t.lastTime = now
+	t.lastRate = rate
+	if rate > 0 {
+		t.lastProgress = now
+	}
+}
+
+// Verdict classifies the component as of time now, applying the promotion
+// timeout to sustained silence. Before any observation the component is
+// nominal (innocent until measured).
+func (t *Tracker) Verdict(now float64) Verdict {
+	if !t.sawAnything {
+		return Nominal
+	}
+	if t.spec.PromotionTimeout > 0 && now-t.lastProgress > t.spec.PromotionTimeout {
+		return AbsoluteFaulty
+	}
+	return t.spec.JudgeRate(t.lastRate)
+}
+
+// Deficit returns how far the last observed rate falls below the expected
+// rate, as a fraction of expected (0 when at or above spec).
+func (t *Tracker) Deficit() float64 {
+	if !t.sawAnything {
+		return 0
+	}
+	d := 1 - t.lastRate/t.spec.ExpectedRate
+	if d < 0 {
+		return 0
+	}
+	return d
+}

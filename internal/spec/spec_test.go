@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVerdictString(t *testing.T) {
+	cases := map[Verdict]string{
+		Nominal:        "nominal",
+		PerfFaulty:     "perf-faulty",
+		AbsoluteFaulty: "absolute-faulty",
+		Verdict(9):     "verdict(9)",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{ExpectedRate: 10, Tolerance: 0.2, PromotionTimeout: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{ExpectedRate: 0, Tolerance: 0.2},
+		{ExpectedRate: -1, Tolerance: 0.2},
+		{ExpectedRate: 10, Tolerance: 1},
+		{ExpectedRate: 10, Tolerance: -0.1},
+		{ExpectedRate: 10, Tolerance: 0.1, PromotionTimeout: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestMinAcceptable(t *testing.T) {
+	s := Spec{ExpectedRate: 100, Tolerance: 0.25}
+	if got := s.MinAcceptable(); got != 75 {
+		t.Fatalf("MinAcceptable = %v, want 75", got)
+	}
+}
+
+func TestJudgeRate(t *testing.T) {
+	s := Spec{ExpectedRate: 100, Tolerance: 0.2}
+	if s.JudgeRate(80) != Nominal {
+		t.Fatal("rate at boundary should be nominal")
+	}
+	if s.JudgeRate(79.9) != PerfFaulty {
+		t.Fatal("rate below boundary should be perf-faulty")
+	}
+	if s.JudgeRate(120) != Nominal {
+		t.Fatal("faster than spec should be nominal")
+	}
+	if s.JudgeRate(0) != PerfFaulty {
+		t.Fatal("instantaneous zero should be perf-faulty, not absolute")
+	}
+}
+
+func TestTrackerPromotion(t *testing.T) {
+	tr := NewTracker(Spec{ExpectedRate: 10, Tolerance: 0.2, PromotionTimeout: 5})
+	tr.Observe(0, 10)
+	if v := tr.Verdict(1); v != Nominal {
+		t.Fatalf("verdict = %v, want nominal", v)
+	}
+	tr.Observe(2, 0)
+	if v := tr.Verdict(4); v != PerfFaulty {
+		t.Fatalf("short stall verdict = %v, want perf-faulty", v)
+	}
+	if v := tr.Verdict(8); v != AbsoluteFaulty {
+		t.Fatalf("stall beyond T verdict = %v, want absolute", v)
+	}
+	// Progress resets the promotion clock.
+	tr.Observe(9, 10)
+	if v := tr.Verdict(13); v != Nominal {
+		t.Fatalf("verdict after recovery = %v, want nominal", v)
+	}
+}
+
+func TestTrackerPromotionDisabled(t *testing.T) {
+	tr := NewTracker(Spec{ExpectedRate: 10, Tolerance: 0.2})
+	tr.Observe(0, 0)
+	if v := tr.Verdict(1e9); v != PerfFaulty {
+		t.Fatalf("verdict with T=0 = %v, want perf-faulty forever", v)
+	}
+}
+
+func TestTrackerBeforeObservation(t *testing.T) {
+	tr := NewTracker(Spec{ExpectedRate: 10, Tolerance: 0.2, PromotionTimeout: 1})
+	if v := tr.Verdict(100); v != Nominal {
+		t.Fatalf("unobserved component verdict = %v, want nominal", v)
+	}
+	if tr.Deficit() != 0 {
+		t.Fatal("unobserved deficit not 0")
+	}
+}
+
+func TestTrackerDeficit(t *testing.T) {
+	tr := NewTracker(Spec{ExpectedRate: 100, Tolerance: 0.1})
+	tr.Observe(0, 60)
+	if d := tr.Deficit(); d != 0.4 {
+		t.Fatalf("deficit = %v, want 0.4", d)
+	}
+	tr.Observe(1, 150)
+	if d := tr.Deficit(); d != 0 {
+		t.Fatalf("deficit above spec = %v, want 0", d)
+	}
+}
+
+func TestTrackerOutOfOrderPanics(t *testing.T) {
+	tr := NewTracker(Spec{ExpectedRate: 10, Tolerance: 0.1})
+	tr.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order observation did not panic")
+		}
+	}()
+	tr.Observe(4, 1)
+}
+
+func TestNewTrackerInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("invalid spec did not panic")
+		}
+		if !strings.Contains(r.(error).Error(), "expected rate") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	NewTracker(Spec{})
+}
+
+// Property: classification is monotone in the observed rate — a faster
+// component is never judged worse.
+func TestJudgeMonotoneProperty(t *testing.T) {
+	s := Spec{ExpectedRate: 100, Tolerance: 0.3}
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return s.JudgeRate(hi) <= s.JudgeRate(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: verdict never regresses from AbsoluteFaulty while silence
+// continues.
+func TestPromotionSticksDuringSilenceProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		tr := NewTracker(Spec{ExpectedRate: 10, Tolerance: 0.1, PromotionTimeout: 3})
+		tr.Observe(0, 0)
+		now := 0.0
+		promoted := false
+		for _, s := range steps {
+			now += float64(s%5) + 0.5
+			v := tr.Verdict(now)
+			if promoted && v != AbsoluteFaulty {
+				return false
+			}
+			if v == AbsoluteFaulty {
+				promoted = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

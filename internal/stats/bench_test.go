@@ -1,0 +1,47 @@
+package stats
+
+import "testing"
+
+func benchData(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64((i*2654435761)%1000) / 10
+	}
+	return xs
+}
+
+func BenchmarkQuantile1k(b *testing.B) {
+	xs := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		Quantile(xs, 0.99)
+	}
+}
+
+func BenchmarkMAD1k(b *testing.B) {
+	xs := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		MAD(xs)
+	}
+}
+
+func BenchmarkTheilSen100(b *testing.B) {
+	xs := benchData(100)
+	ys := benchData(100)
+	for i := 0; i < b.N; i++ {
+		TheilSen(xs, ys)
+	}
+}
+
+func BenchmarkWindowObserve(b *testing.B) {
+	w := NewWindow(64)
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i))
+	}
+}
+
+func BenchmarkEWMAObserve(b *testing.B) {
+	e := NewEWMA(0.2)
+	for i := 0; i < b.N; i++ {
+		e.Observe(float64(i % 100))
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average. With smoothing factor
+// alpha in (0, 1], each observation contributes alpha of its value; higher
+// alpha reacts faster but is noisier. The first observation initializes the
+// average directly.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. It panics if
+// alpha is outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds x into the average.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	e.value += e.alpha * (x - e.value)
+}
+
+// Value returns the current average, or NaN before any observation.
+func (e *EWMA) Value() float64 {
+	if !e.init {
+		return math.NaN()
+	}
+	return e.value
+}
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Reset discards all history.
+func (e *EWMA) Reset() { e.init = false; e.value = 0 }
+
+// Welford maintains a numerically stable online mean and variance.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Observe folds x into the accumulator.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean, or NaN with no observations.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running population variance, or NaN with no
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the running population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Window is a fixed-capacity sliding window over the most recent
+// observations, backed by a ring buffer. Detectors use it to compare a
+// component's recent behaviour against its performance specification.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+// NewWindow returns a window holding up to capacity observations. It
+// panics on a non-positive capacity.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("stats: window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Observe appends x, evicting the oldest observation when full.
+func (w *Window) Observe(x float64) {
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Values returns the stored observations, oldest first, as a fresh slice.
+func (w *Window) Values() []float64 {
+	out := make([]float64, 0, w.n)
+	start := w.head - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(start+i)%len(w.buf)])
+	}
+	return out
+}
+
+// Mean returns the mean of the stored observations, or NaN when empty.
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	start := w.head - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		sum += w.buf[(start+i)%len(w.buf)]
+	}
+	return sum / float64(w.n)
+}
+
+// Quantile returns the q-quantile of the stored observations.
+func (w *Window) Quantile(q float64) float64 { return Quantile(w.Values(), q) }
+
+// Median returns the 0.5-quantile of the stored observations.
+func (w *Window) Median() float64 { return w.Quantile(0.5) }
+
+// Reset discards all observations.
+func (w *Window) Reset() { w.head, w.n = 0, 0 }

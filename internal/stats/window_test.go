@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowFillAndEvict(t *testing.T) {
+	w := NewWindow(3)
+	if w.Full() || w.Len() != 0 || w.Cap() != 3 {
+		t.Fatal("fresh window state wrong")
+	}
+	w.Observe(1)
+	w.Observe(2)
+	if w.Full() {
+		t.Fatal("window full too early")
+	}
+	w.Observe(3)
+	if !w.Full() {
+		t.Fatal("window not full at capacity")
+	}
+	w.Observe(4) // evicts 1
+	vs := w.Values()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestWindowMeanAndMedian(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{1, 2, 3, 4, 5} { // window holds 2..5
+		w.Observe(v)
+	}
+	if got := w.Mean(); got != 3.5 {
+		t.Fatalf("Mean = %v, want 3.5", got)
+	}
+	if got := w.Median(); got != 3.5 {
+		t.Fatalf("Median = %v, want 3.5", got)
+	}
+}
+
+func TestWindowEmptyStats(t *testing.T) {
+	w := NewWindow(4)
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Median()) {
+		t.Fatal("empty window stats not NaN")
+	}
+	if len(w.Values()) != 0 {
+		t.Fatal("empty window Values not empty")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(2)
+	w.Observe(1)
+	w.Observe(2)
+	w.Reset()
+	if w.Len() != 0 || len(w.Values()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	w.Observe(9)
+	if w.Values()[0] != 9 {
+		t.Fatal("window unusable after Reset")
+	}
+}
+
+func TestWindowInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: the window always reflects exactly the last min(n, cap)
+// observations, in order.
+func TestWindowKeepsTailProperty(t *testing.T) {
+	f := func(raw []int16, c uint8) bool {
+		capacity := int(c%16) + 1
+		w := NewWindow(capacity)
+		all := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			x := float64(v)
+			w.Observe(x)
+			all = append(all, x)
+		}
+		start := len(all) - capacity
+		if start < 0 {
+			start = 0
+		}
+		tail := all[start:]
+		got := w.Values()
+		if len(got) != len(tail) {
+			return false
+		}
+		for i := range tail {
+			if got[i] != tail[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit := FitLine(xs, ys)
+	if !close(fit.Slope, 2, 1e-12) || !close(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !close(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	fit := FitLine([]float64{1}, []float64{2})
+	if !math.IsNaN(fit.Slope) {
+		t.Fatal("single-point fit slope not NaN")
+	}
+	fit = FitLine([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(fit.Slope) {
+		t.Fatal("constant-x fit slope not NaN")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !close(fit.Slope, 0, 1e-12) {
+		t.Fatalf("constant-y slope = %v, want 0", fit.Slope)
+	}
+	if !math.IsNaN(fit.R2) {
+		t.Fatalf("constant-y R2 = %v, want NaN", fit.R2)
+	}
+}
+
+func TestTheilSenRobust(t *testing.T) {
+	// A declining trend with one wild outlier: OLS gets dragged, Theil-Sen
+	// does not.
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 - 2*x
+	}
+	ys[5] = 1000
+	ts := TheilSen(xs, ys)
+	if math.Abs(ts-(-2)) > 0.5 {
+		t.Fatalf("Theil-Sen slope = %v, want ~-2 despite outlier", ts)
+	}
+	ols := FitLine(xs, ys).Slope
+	if math.Abs(ols-(-2)) < 1 {
+		t.Fatalf("OLS slope %v unexpectedly robust; test premise broken", ols)
+	}
+}
+
+func TestTheilSenDegenerate(t *testing.T) {
+	if !math.IsNaN(TheilSen([]float64{1}, []float64{1})) {
+		t.Fatal("single point not NaN")
+	}
+	if !math.IsNaN(TheilSen([]float64{2, 2}, []float64{1, 5})) {
+		t.Fatal("vertical pair not NaN")
+	}
+}
+
+func TestFitLineRecoversSlopeProperty(t *testing.T) {
+	f := func(m, b int8) bool {
+		slope, intercept := float64(m), float64(b)
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit := FitLine(xs, ys)
+		return close(fit.Slope, slope, 1e-9) && close(fit.Intercept, intercept, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import "math"
+
+// AvailabilityMeter implements the paper's availability metric (Section
+// 3.3, after Gray & Reuter): the fraction of offered load processed with
+// acceptable response time. Every offered request is recorded; a request
+// is "available" only if it completed within the threshold. Requests that
+// never complete (dropped by a failed component) count against
+// availability.
+type AvailabilityMeter struct {
+	threshold float64
+	offered   uint64
+	completed uint64
+	within    uint64
+	latency   *Histogram
+}
+
+// NewAvailabilityMeter builds a meter with the given acceptable-response
+// threshold in seconds.
+func NewAvailabilityMeter(threshold float64) *AvailabilityMeter {
+	if threshold <= 0 || math.IsNaN(threshold) {
+		panic("trace: availability threshold must be positive")
+	}
+	return &AvailabilityMeter{
+		threshold: threshold,
+		latency:   NewHistogram(threshold/1000, threshold*1000, 60),
+	}
+}
+
+// Offered records that a request was submitted.
+func (a *AvailabilityMeter) Offered() { a.offered++ }
+
+// Completed records a request finishing with the given response time.
+func (a *AvailabilityMeter) Completed(latency float64) {
+	a.completed++
+	a.latency.Observe(latency)
+	if latency <= a.threshold {
+		a.within++
+	}
+}
+
+// Threshold returns the acceptable-response threshold.
+func (a *AvailabilityMeter) Threshold() float64 { return a.threshold }
+
+// OfferedCount returns the number of offered requests.
+func (a *AvailabilityMeter) OfferedCount() uint64 { return a.offered }
+
+// CompletedCount returns the number of completed requests.
+func (a *AvailabilityMeter) CompletedCount() uint64 { return a.completed }
+
+// Availability returns within-threshold completions divided by offered
+// load, or NaN if nothing was offered.
+func (a *AvailabilityMeter) Availability() float64 {
+	if a.offered == 0 {
+		return math.NaN()
+	}
+	return float64(a.within) / float64(a.offered)
+}
+
+// Latency exposes the completion-latency histogram.
+func (a *AvailabilityMeter) Latency() *Histogram { return a.latency }

@@ -1,0 +1,225 @@
+// Package trace provides the observation plane used by every experiment:
+// counters, latency histograms, time-stamped series, and an availability
+// meter implementing Gray & Reuter's definition quoted by the paper — "the
+// fraction of the offered load that is processed with acceptable response
+// times".
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic since counters are monotonic.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Histogram accumulates values into logarithmic buckets spanning
+// [min, max). Values below the first boundary go to bucket 0; values at or
+// above the last go to the overflow bucket. It also tracks exact count,
+// sum, min and max so means are not quantized.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given number of logarithmic
+// buckets between lo and hi (both positive, lo < hi).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if lo <= 0 || hi <= lo || buckets < 1 {
+		panic("trace: NewHistogram requires 0 < lo < hi and buckets >= 1")
+	}
+	bounds := make([]float64, buckets+1)
+	ratio := math.Pow(hi/lo, 1/float64(buckets))
+	bounds[0] = lo
+	for i := 1; i <= buckets; i++ {
+		bounds[i] = bounds[i-1] * ratio
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, buckets+2), // +under, +overflow
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	// idx is the number of boundaries <= v is inserted before; bucket 0 is
+	// the underflow bucket.
+	h.counts[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean of observations, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or +Inf when empty.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation, or -Inf when empty.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile from bucket boundaries.
+// Within a bucket it interpolates linearly; results are exact at bucket
+// edges. Returns NaN when empty or q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	target := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo, hi := h.bucketEdges(i)
+			if math.IsInf(lo, -1) {
+				return h.min
+			}
+			if math.IsInf(hi, 1) {
+				return h.max
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketEdges returns the value range covered by counts[i].
+func (h *Histogram) bucketEdges(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return math.Inf(-1), h.bounds[0]
+	case i == len(h.counts)-1:
+		return h.bounds[len(h.bounds)-1], math.Inf(1)
+	default:
+		return h.bounds[i-1], h.bounds[i]
+	}
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram(empty)"
+	}
+	return fmt.Sprintf("histogram(n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g)",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Series is a time-stamped sequence of samples, e.g. a component's
+// observed rate over time.
+type Series struct {
+	Times  []float64
+	Values []float64
+}
+
+// Add appends a sample. Timestamps must be non-decreasing; violations
+// panic because they always indicate a recording bug.
+func (s *Series) Add(t, v float64) {
+	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
+		panic(fmt.Sprintf("trace: series timestamp %v before %v", t, s.Times[n-1]))
+	}
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At returns the latest value recorded at or before t, or NaN if none.
+func (s *Series) At(t float64) float64 {
+	idx := sort.SearchFloat64s(s.Times, t)
+	// idx is the first index with Times[idx] >= t; step back unless exact.
+	if idx < len(s.Times) && s.Times[idx] == t {
+		// Return the last of any equal timestamps.
+		for idx+1 < len(s.Times) && s.Times[idx+1] == t {
+			idx++
+		}
+		return s.Values[idx]
+	}
+	if idx == 0 {
+		return math.NaN()
+	}
+	return s.Values[idx-1]
+}
+
+// Last returns the most recent value, or NaN when empty.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Sparkline renders the series as a fixed-width unicode strip, handy in
+// CLI output.
+func (s *Series) Sparkline(width int) string {
+	if len(s.Values) == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := s.Values[0], s.Values[0]
+	for _, v := range s.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		idx := 0
+		if width > 1 {
+			// Include both endpoints so the first and last samples render.
+			idx = i * (len(s.Values) - 1) / (width - 1)
+		}
+		v := s.Values[idx]
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		b.WriteRune(ramp[level])
+	}
+	return b.String()
+}

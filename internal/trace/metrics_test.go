@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0.001, 1000, 30)
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 10 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	if h.Mean() != 2.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 10, 4)
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram stats not NaN")
+	}
+	if h.String() != "histogram(empty)" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(1, 100, 10)
+	h.Observe(0.5)  // underflow
+	h.Observe(5000) // overflow
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0.5 || h.Max() != 5000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Quantiles at the extremes fall back to exact min/max.
+	if h.Quantile(0) != 0.5 {
+		t.Fatalf("q0 = %v, want 0.5", h.Quantile(0))
+	}
+	if h.Quantile(1) != 5000 {
+		t.Fatalf("q1 = %v, want 5000", h.Quantile(1))
+	}
+}
+
+func TestHistogramQuantileApproximation(t *testing.T) {
+	h := NewHistogram(0.1, 1000, 200)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("p50 = %v, want ~500", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1050 {
+		t.Fatalf("p99 = %v, want ~990", p99)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	h := NewHistogram(0.01, 100, 40)
+	f := func(raw []uint16, a, b uint8) bool {
+		for _, v := range raw {
+			h.Observe(float64(v%1000) + 0.5)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		q1 := float64(a%101) / 100
+		q2 := float64(b%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return h.Quantile(q1) <= h.Quantile(q2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramInvalidArgsPanics(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 10, 5}, {5, 5, 5}, {1, 10, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v,%v,%d) did not panic", c.lo, c.hi, c.n)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestSeriesAddAndAt(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(4, 40)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.At(2); got != 20 {
+		t.Fatalf("At(2) = %v", got)
+	}
+	if got := s.At(3); got != 20 {
+		t.Fatalf("At(3) = %v, want step value 20", got)
+	}
+	if got := s.At(100); got != 40 {
+		t.Fatalf("At(100) = %v", got)
+	}
+	if !math.IsNaN(s.At(0.5)) {
+		t.Fatal("At before first sample not NaN")
+	}
+	if s.Last() != 40 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+}
+
+func TestSeriesDuplicateTimestampTakesLatest(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(1, 11)
+	if got := s.At(1); got != 11 {
+		t.Fatalf("At(1) = %v, want 11 (latest)", got)
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	var s Series
+	s.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	s.Add(4, 2)
+}
+
+func TestSeriesEmptyLast(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.Last()) {
+		t.Fatal("empty Last not NaN")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	sl := s.Sparkline(8)
+	if len([]rune(sl)) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len([]rune(sl)))
+	}
+	if !strings.ContainsRune(sl, '▁') || !strings.ContainsRune(sl, '█') {
+		t.Fatalf("sparkline %q missing extremes", sl)
+	}
+	var empty Series
+	if empty.Sparkline(8) != "" {
+		t.Fatal("empty sparkline not empty string")
+	}
+}
+
+func TestAvailabilityMeter(t *testing.T) {
+	a := NewAvailabilityMeter(1.0)
+	for i := 0; i < 10; i++ {
+		a.Offered()
+	}
+	for i := 0; i < 6; i++ {
+		a.Completed(0.5) // within threshold
+	}
+	for i := 0; i < 2; i++ {
+		a.Completed(3.0) // too slow
+	}
+	// 2 requests never complete at all.
+	if got := a.Availability(); got != 0.6 {
+		t.Fatalf("availability = %v, want 0.6", got)
+	}
+	if a.OfferedCount() != 10 || a.CompletedCount() != 8 {
+		t.Fatalf("offered/completed = %d/%d", a.OfferedCount(), a.CompletedCount())
+	}
+	if a.Latency().Count() != 8 {
+		t.Fatalf("latency count = %d", a.Latency().Count())
+	}
+	if a.Threshold() != 1.0 {
+		t.Fatalf("threshold = %v", a.Threshold())
+	}
+}
+
+func TestAvailabilityEmptyNaN(t *testing.T) {
+	a := NewAvailabilityMeter(1)
+	if !math.IsNaN(a.Availability()) {
+		t.Fatal("availability with no load not NaN")
+	}
+}
+
+func TestAvailabilityInvalidThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threshold did not panic")
+		}
+	}()
+	NewAvailabilityMeter(0)
+}
+
+// Property: availability is always in [0, 1] and decreases (weakly) as the
+// threshold tightens over the same completions.
+func TestAvailabilityBoundsProperty(t *testing.T) {
+	f := func(lats []uint16) bool {
+		loose := NewAvailabilityMeter(10)
+		tight := NewAvailabilityMeter(1)
+		for _, l := range lats {
+			lat := float64(l%200) / 10 // 0..19.9
+			loose.Offered()
+			tight.Offered()
+			loose.Completed(lat)
+			tight.Completed(lat)
+		}
+		if len(lats) == 0 {
+			return true
+		}
+		al, at := loose.Availability(), tight.Availability()
+		return al >= 0 && al <= 1 && at >= 0 && at <= 1 && at <= al
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

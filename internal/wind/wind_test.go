@@ -1,0 +1,191 @@
+package wind
+
+import (
+	"fmt"
+	"testing"
+
+	"failstutter/internal/device"
+	"failstutter/internal/faults"
+	"failstutter/internal/sim"
+	"failstutter/internal/spec"
+)
+
+const blockBytes = 4096
+
+func flatNode(bw float64) NodeParams {
+	return NodeParams{
+		Disk: device.DiskParams{
+			Name:           "wind-disk",
+			CapacityBlocks: 1 << 22,
+			BlockBytes:     blockBytes,
+			Zones:          []device.Zone{{CapacityFrac: 1, Bandwidth: bw}},
+			SeekTime:       0.0005,
+			AgingFactor:    1,
+		},
+		LinkBandwidth: 10e6,
+		LinkLatency:   0.0002,
+	}
+}
+
+func mustVolume(s *sim.Simulator, policy Policy) *Volume {
+	v, err := NewVolume(s, VolumeParams{
+		Nodes:        6,
+		Replication:  2,
+		BlockBytes:   blockBytes,
+		Policy:       policy,
+		Spec:         spec.Spec{ExpectedRate: 1e6, Tolerance: 0.4, PromotionTimeout: 10},
+		HedgeAfter:   0.05,
+		WriteTimeout: 0.5,
+	}, func(i int) NodeParams {
+		np := flatNode(1e6)
+		np.Disk.Name = fmt.Sprintf("wind-disk-%d", i)
+		return np
+	})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestVolumeValidation(t *testing.T) {
+	s := sim.New()
+	_, err := NewVolume(s, VolumeParams{Nodes: 2, Replication: 2, BlockBytes: 1,
+		Spec: spec.Spec{ExpectedRate: 1, Tolerance: 0.1}}, func(int) NodeParams { return flatNode(1e6) })
+	if err == nil {
+		t.Fatal("Nodes == Replication accepted")
+	}
+	_, err = NewVolume(s, VolumeParams{Nodes: 4, Replication: 2, BlockBytes: 1,
+		Spec: spec.Spec{}}, func(int) NodeParams { return flatNode(1e6) })
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// run drives n closed-loop writers until the horizon; returns completed
+// writes.
+func runWriteLoad(s *sim.Simulator, v *Volume, writers int, horizon float64) uint64 {
+	for w := 0; w < writers; w++ {
+		var loop func()
+		loop = func() {
+			if s.Now() >= horizon {
+				return
+			}
+			v.Write(loop)
+		}
+		loop()
+	}
+	s.RunUntil(horizon)
+	return v.Written()
+}
+
+func TestVolumeWritesReplicate(t *testing.T) {
+	s := sim.New()
+	v := mustVolume(s, Static)
+	done := runWriteLoad(s, v, 4, 5)
+	if done == 0 {
+		t.Fatal("no writes completed")
+	}
+	// Every logical write lands Replication disk writes.
+	var diskWrites uint64
+	for i := 0; i < 6; i++ {
+		diskWrites += v.Node(i).Disk().Writes()
+	}
+	if diskWrites < 2*done {
+		t.Fatalf("disk writes %d < 2x logical %d", diskWrites, done)
+	}
+}
+
+func TestVolumeAdaptiveDivertsFromStutterer(t *testing.T) {
+	s := sim.New()
+	v := mustVolume(s, Adaptive)
+	// Node 0 degrades to 5% after 3 s.
+	faults.StepAt{At: 3, Factor: 0.05}.Install(s, v.Node(0).Disk().Composite())
+	done := runWriteLoad(s, v, 4, 20)
+	if v.Diverted() == 0 {
+		t.Fatal("no writes diverted despite a published stutterer")
+	}
+	if v.Controller().State("node-0") == spec.Nominal {
+		t.Fatal("stutterer never published")
+	}
+	if done == 0 {
+		t.Fatal("no writes completed")
+	}
+	if v.Bookkeeping() == 0 {
+		t.Fatal("adaptive volume recorded no placements")
+	}
+}
+
+func TestVolumeAdaptiveBeatsStaticUnderStutter(t *testing.T) {
+	run := func(policy Policy) uint64 {
+		s := sim.New()
+		v := mustVolume(s, policy)
+		faults.StepAt{At: 2, Factor: 0.05}.Install(s, v.Node(0).Disk().Composite())
+		return runWriteLoad(s, v, 4, 20)
+	}
+	static := run(Static)
+	adaptive := run(Adaptive)
+	if adaptive*2 < static*3 {
+		t.Fatalf("adaptive %d writes not clearly above static %d under a stutterer",
+			adaptive, static)
+	}
+}
+
+func TestVolumeSurvivesCrashAdaptively(t *testing.T) {
+	s := sim.New()
+	v := mustVolume(s, Adaptive)
+	faults.CrashAt{At: 2}.Install(s, v.Node(0).Disk().Composite())
+	done := runWriteLoad(s, v, 4, 25)
+	if done == 0 {
+		t.Fatal("no writes completed")
+	}
+	if v.Controller().State("node-0") != spec.AbsoluteFaulty {
+		t.Fatalf("dead node state = %v", v.Controller().State("node-0"))
+	}
+	// Writes after promotion must divert, so throughput continues.
+	if v.Diverted() == 0 {
+		t.Fatal("no diversion after node death")
+	}
+}
+
+func TestVolumeReadsAndHedging(t *testing.T) {
+	s := sim.New()
+	v := mustVolume(s, Adaptive)
+	writes := 0
+	for i := 0; i < 50; i++ {
+		v.Write(func() { writes++ })
+	}
+	// The controller's probes reschedule forever, so volume simulations
+	// are always driven with RunUntil, never Run.
+	s.RunUntil(10)
+	if writes != 50 {
+		t.Fatalf("writes = %d", writes)
+	}
+	// Stall node 0 completely; reads of blocks homed there must still
+	// complete via replica or hedge.
+	faults.Static{Factor: 0}.Install(s, v.Node(0).Disk().Composite())
+	reads := 0
+	for b := int64(0); b < 50; b++ {
+		v.Read(b, func() { reads++ })
+	}
+	s.RunUntil(s.Now() + 30)
+	if reads != 50 {
+		t.Fatalf("reads completed = %d of 50 with one node stalled", reads)
+	}
+}
+
+func TestVolumeReadUnwrittenPanics(t *testing.T) {
+	s := sim.New()
+	v := mustVolume(s, Static)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of unwritten block did not panic")
+		}
+	}()
+	v.Read(0, nil)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || Adaptive.String() != "adaptive" {
+		t.Fatal("policy names wrong")
+	}
+}
