@@ -7,10 +7,28 @@
 package failstutter_test
 
 import (
+	"runtime"
 	"testing"
 
 	"failstutter/internal/experiments"
 )
+
+// BenchmarkSuiteQuickSerial regenerates the entire quick-mode suite on one
+// worker: the whole-suite wall-clock number tracked across PRs.
+func BenchmarkSuiteQuickSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(benchCfg, 1)
+	}
+}
+
+// BenchmarkSuiteQuickParallel is the same suite fanned across GOMAXPROCS
+// workers (wall-clock experiments still run exclusively, see RunAll).
+func BenchmarkSuiteQuickParallel(b *testing.B) {
+	p := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		experiments.RunAll(benchCfg, p)
+	}
+}
 
 // benchCfg mirrors the test suite's quick configuration.
 var benchCfg = experiments.Config{Seed: 42, Quick: true}

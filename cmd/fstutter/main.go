@@ -8,16 +8,18 @@
 //	fstutter run E01 E03 A2      # run selected experiments
 //	fstutter all                  # run the full suite
 //
-// Flags:
+// Flags (accepted before or after the subcommand):
 //
-//	-seed N    random seed (default 42)
-//	-quick     shrink workloads for a fast pass (the test suite's mode)
+//	-seed N      random seed (default 42)
+//	-quick       shrink workloads for a fast pass (the test suite's mode)
+//	-parallel N  experiment fan-out for `all` (default GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"failstutter/internal/experiments"
 )
@@ -26,56 +28,80 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed for all stochastic components")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	format := flag.String("format", "text", "output format: text or csv")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for `all` (1 = serial; tables are identical either way)")
 	flag.Usage = usage
 	flag.Parse()
-	if *format != "text" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "fstutter: unknown format %q\n", *format)
-		os.Exit(2)
-	}
-	asCSV = *format == "csv"
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
+	cmd := args[0]
+	operands := parseInterleaved(args[1:])
+
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "fstutter: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	asCSV = *format == "csv"
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 
-	switch args[0] {
+	switch cmd {
 	case "list":
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 			fmt.Printf("     paper: %s\n", e.PaperClaim)
 		}
 	case "all":
-		for _, e := range experiments.All() {
-			runOne(e, cfg)
+		// RunAll fans the virtual-time experiments across -parallel
+		// workers and returns tables in display order; output is
+		// deterministic for a given seed regardless of parallelism.
+		for _, tbl := range experiments.RunAll(cfg, *parallel) {
+			printTable(tbl)
 		}
 	case "run":
-		if len(args) < 2 {
+		if len(operands) == 0 {
 			fmt.Fprintln(os.Stderr, "fstutter run: at least one experiment id required")
 			os.Exit(2)
 		}
-		for _, id := range args[1:] {
+		for _, id := range operands {
 			e, err := experiments.Get(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			runOne(e, cfg)
+			printTable(e.Run(cfg))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "fstutter: unknown command %q\n", args[0])
+		fmt.Fprintf(os.Stderr, "fstutter: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
 }
 
+// parseInterleaved reparses flags that appear after the subcommand (so
+// `fstutter all -quick -seed 42` works, not just `fstutter -quick all`)
+// and returns the non-flag operands in order.
+func parseInterleaved(args []string) []string {
+	var operands []string
+	for len(args) > 0 {
+		flag.CommandLine.Parse(args)
+		args = flag.CommandLine.Args()
+		if len(args) == 0 {
+			break
+		}
+		operands = append(operands, args[0])
+		args = args[1:]
+	}
+	return operands
+}
+
 // asCSV selects CSV table output, set from the -format flag.
 var asCSV bool
 
-func runOne(e experiments.Experiment, cfg experiments.Config) {
-	tbl := e.Run(cfg)
+func printTable(tbl *experiments.Table) {
 	if asCSV {
 		fmt.Print(tbl.CSV())
 		return
@@ -91,9 +117,10 @@ usage:
   fstutter [flags] run <id>...
   fstutter [flags] all
 
-flags:
+flags (before or after the subcommand):
   -seed N        random seed (default 42)
   -quick         shrink workloads for a fast pass
   -format FMT    text (default) or csv
+  -parallel N    worker goroutines for 'all' (default GOMAXPROCS)
 `)
 }

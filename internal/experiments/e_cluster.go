@@ -19,14 +19,16 @@ func init() {
 			"behind its mirror in a replicated update; one machine " +
 			"over-saturates and thus is the bottleneck (Gribble et al., " +
 			"Section 2.2.1)",
-		Run: runE14,
+		Run:       runE14,
+		WallClock: true,
 	})
 	register(Experiment{
 		ID:    "E15",
 		Title: "Distributed sort: one loaded node halves throughput",
 		PaperClaim: "a node with excess CPU load reduces global sorting " +
 			"performance by a factor of two (NOW-Sort, Section 2.2.2)",
-		Run: runE15,
+		Run:       runE15,
+		WallClock: true,
 	})
 	register(Experiment{
 		ID:    "E23",
@@ -35,7 +37,8 @@ func init() {
 			"failures by issuing new processes to do the work elsewhere, " +
 			"reconciling so as to avoid work replication (Shasha & Turek, " +
 			"Section 4)",
-		Run: runE23,
+		Run:       runE23,
+		WallClock: true,
 	})
 	register(Experiment{
 		ID:    "E29",
@@ -43,7 +46,8 @@ func init() {
 		PaperClaim: "particularly vulnerable are systems that make static uses " +
 			"of parallelism, usually assuming that all components perform " +
 			"identically (Section 1; CM-5 parallel applications, Section 2.1.3)",
-		Run: runE29,
+		Run:       runE29,
+		WallClock: true,
 	})
 	register(Experiment{
 		ID:    "E24",
@@ -51,7 +55,8 @@ func init() {
 		PaperClaim: "new adaptive algorithms, which can cope with this more " +
 			"difficult class of failures, must be designed ... and different " +
 			"approaches need to be evaluated (Section 5)",
-		Run: runE24,
+		Run:       runE24,
+		WallClock: true,
 	})
 }
 

@@ -22,6 +22,12 @@ type Experiment struct {
 	Title      string
 	PaperClaim string
 	Run        func(cfg Config) *Table
+	// WallClock marks experiments that measure real goroutine scheduling
+	// and CPU shares (the internal/cluster benchmarks). Their results are
+	// wall-clock dependent — nondeterministic run to run even serially —
+	// and RunAll never runs them concurrently with anything else, since
+	// background load would distort the load ratios they measure.
+	WallClock bool
 }
 
 var registry = map[string]Experiment{}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunAll executes every registered experiment and returns the tables in
+// display order (the order of All()). parallelism is the number of worker
+// goroutines experiments are fanned across; values below 1 are treated
+// as 1.
+//
+// Every experiment owns an independent Simulator and seeded RNG, so the
+// virtual-time experiments are embarrassingly parallel and their tables
+// are byte-identical for a given seed regardless of parallelism. The
+// wall-clock experiments (Experiment.WallClock: the internal/cluster
+// goroutine benchmarks) measure real CPU shares and sleep timings, so
+// they always run exclusively, one at a time, after the parallel batch —
+// running them alongside other experiments would distort the very load
+// ratios they measure.
+func RunAll(cfg Config, parallelism int) []*Table {
+	return runExperiments(All(), cfg, parallelism)
+}
+
+// runExperiments fans list across parallelism workers (wall-clock entries
+// excluded, see RunAll) and returns tables positionally aligned with list.
+func runExperiments(list []Experiment, cfg Config, parallelism int) []*Table {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	tables := make([]*Table, len(list))
+	var fan, exclusive []int
+	for i, e := range list {
+		if e.WallClock || parallelism == 1 {
+			exclusive = append(exclusive, i)
+		} else {
+			fan = append(fan, i)
+		}
+	}
+	if len(fan) > 0 {
+		workers := parallelism
+		if workers > len(fan) {
+			workers = len(fan)
+		}
+		// Experiments have very unequal costs, so workers pull the next
+		// index from a shared counter instead of taking fixed slices.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(fan) {
+						return
+					}
+					i := fan[n]
+					tables[i] = list[i].Run(cfg)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, i := range exclusive {
+		tables[i] = list[i].Run(cfg)
+	}
+	return tables
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// virtualTime returns the experiments whose results are pure functions of
+// the seed (everything but the wall-clock goroutine benchmarks, which are
+// nondeterministic run to run even serially — see Experiment.WallClock).
+func virtualTime() []Experiment {
+	var out []Experiment
+	for _, e := range All() {
+		if !e.WallClock {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestRunAllDeterministic asserts that the parallel runner produces
+// byte-identical tables to the serial path for several seeds: same rows,
+// same notes, same metrics, same formatting, in the same display order.
+func TestRunAllDeterministic(t *testing.T) {
+	list := virtualTime()
+	if len(list) < 25 {
+		t.Fatalf("only %d virtual-time experiments registered", len(list))
+	}
+	for _, seed := range []uint64{1, 42, 1337} {
+		cfg := Config{Seed: seed, Quick: true}
+		serial := runExperiments(list, cfg, 1)
+		par := runExperiments(list, cfg, 8)
+		for i, e := range list {
+			if serial[i] == nil || par[i] == nil {
+				t.Fatalf("seed %d: experiment %s returned a nil table", seed, e.ID)
+			}
+			if serial[i].ID != e.ID || par[i].ID != e.ID {
+				t.Fatalf("seed %d: table order broken at %d: serial %s, parallel %s, want %s",
+					seed, i, serial[i].ID, par[i].ID, e.ID)
+			}
+			if got, want := par[i].Format(), serial[i].Format(); got != want {
+				t.Errorf("seed %d: experiment %s text output differs between parallel and serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					seed, e.ID, want, got)
+			}
+			if got, want := par[i].CSV(), serial[i].CSV(); got != want {
+				t.Errorf("seed %d: experiment %s CSV output differs between parallel and serial", seed, e.ID)
+			}
+		}
+		if t.Failed() {
+			break // one seed's divergence is enough diagnostics
+		}
+	}
+}
+
+// TestRunAllIncludesWallClock asserts RunAll covers the full registry in
+// display order, wall-clock experiments included.
+func TestRunAllIncludesWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiments take seconds; skipped in -short")
+	}
+	tables := RunAll(Config{Seed: 42, Quick: true}, 4)
+	all := All()
+	if len(tables) != len(all) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(tables), len(all))
+	}
+	for i, e := range all {
+		if tables[i] == nil {
+			t.Fatalf("experiment %s returned a nil table", e.ID)
+		}
+		if tables[i].ID != e.ID {
+			t.Fatalf("table %d is %s, want %s (display order must be preserved)", i, tables[i].ID, e.ID)
+		}
+	}
+}

@@ -39,6 +39,11 @@ type Target interface {
 type Composite struct {
 	target  Target
 	factors map[string]float64
+	// slotSeq disambiguates multiple injectors of the same kind on this
+	// composite. It is per-composite (not package-global) so that
+	// simulations running concurrently — the parallel experiment runner —
+	// never share mutable state.
+	slotSeq int
 }
 
 // NewComposite wraps target for multi-injector composition.
@@ -74,20 +79,17 @@ func (c *Composite) Product() float64 {
 // Fail forwards an absolute failure to the target.
 func (c *Composite) Fail() { c.target.Fail() }
 
+// newSlot mints a fresh slot name for an injector of the given kind.
+func (c *Composite) newSlot(kind string) string {
+	c.slotSeq++
+	return fmt.Sprintf("%s-%d", kind, c.slotSeq)
+}
+
 // Injector installs a fault behaviour onto a composite at simulation
 // setup. Install must be called before the simulation runs (or at least
 // before the injector's first event time).
 type Injector interface {
 	Install(s *sim.Simulator, c *Composite)
-}
-
-// slotCounter disambiguates multiple injectors of the same kind on one
-// composite.
-var slotCounter int
-
-func newSlot(kind string) string {
-	slotCounter++
-	return fmt.Sprintf("%s-%d", kind, slotCounter)
 }
 
 // Static applies a constant factor for the whole run: a component that was
@@ -99,7 +101,7 @@ type Static struct {
 
 // Install implements Injector.
 func (f Static) Install(s *sim.Simulator, c *Composite) {
-	c.Set(newSlot("static"), f.Factor)
+	c.Set(c.newSlot("static"), f.Factor)
 }
 
 // StepAt permanently changes the factor at a point in time: a component
@@ -112,7 +114,7 @@ type StepAt struct {
 
 // Install implements Injector.
 func (f StepAt) Install(s *sim.Simulator, c *Composite) {
-	slot := newSlot("step")
+	slot := c.newSlot("step")
 	s.At(f.At, func() { c.Set(slot, f.Factor) })
 }
 
@@ -129,7 +131,7 @@ func (f Interval) Install(s *sim.Simulator, c *Composite) {
 	if f.End <= f.Start {
 		panic("faults: Interval requires End > Start")
 	}
-	slot := newSlot("interval")
+	slot := c.newSlot("interval")
 	s.At(f.Start, func() { c.Set(slot, f.Factor) })
 	s.At(f.End, func() { c.Clear(slot) })
 }
@@ -160,7 +162,7 @@ func (f PeriodicStall) Install(s *sim.Simulator, c *Composite) {
 	if f.Jitter > 0 && f.RNG == nil {
 		panic("faults: PeriodicStall jitter requires an RNG")
 	}
-	slot := newSlot("periodic")
+	slot := c.newSlot("periodic")
 	var schedule func(next sim.Time)
 	schedule = func(next sim.Time) {
 		if f.Until > 0 && next > f.Until {
@@ -203,7 +205,7 @@ func (f PoissonStalls) Install(s *sim.Simulator, c *Composite) {
 	if f.MeanInterval <= 0 || f.Duration <= 0 || f.RNG == nil {
 		panic("faults: PoissonStalls requires positive intervals and an RNG")
 	}
-	slot := newSlot("poisson")
+	slot := c.newSlot("poisson")
 	var schedule func()
 	schedule = func() {
 		gap := f.RNG.Exp(f.MeanInterval)
@@ -243,7 +245,12 @@ func (f ChainResets) InstallGroup(s *sim.Simulator, members []*Composite) {
 	if f.MeanInterval <= 0 || f.Duration <= 0 || f.RNG == nil {
 		panic("faults: ChainResets requires positive intervals and an RNG")
 	}
-	slot := newSlot("chainreset")
+	// Each member gets a slot minted from its own composite, keeping slot
+	// names unique per composite without any cross-simulation state.
+	slots := make([]string, len(members))
+	for i, m := range members {
+		slots[i] = m.newSlot("chainreset")
+	}
 	var schedule func()
 	schedule = func() {
 		gap := f.RNG.Exp(f.MeanInterval)
@@ -255,12 +262,12 @@ func (f ChainResets) InstallGroup(s *sim.Simulator, members []*Composite) {
 			if f.OnReset != nil {
 				f.OnReset(s.Now())
 			}
-			for _, m := range members {
-				m.Set(slot, 0)
+			for i, m := range members {
+				m.Set(slots[i], 0)
 			}
 			s.After(f.Duration, func() {
-				for _, m := range members {
-					m.Clear(slot)
+				for i, m := range members {
+					m.Clear(slots[i])
 				}
 				schedule()
 			})
@@ -285,7 +292,7 @@ func (f RandomWalk) Install(s *sim.Simulator, c *Composite) {
 	if f.Interval <= 0 || f.RNG == nil || f.Max < f.Min {
 		panic("faults: RandomWalk requires positive Interval, RNG, Max >= Min")
 	}
-	slot := newSlot("walk")
+	slot := c.newSlot("walk")
 	level := 1.0
 	if level > f.Max {
 		level = f.Max
@@ -327,7 +334,7 @@ func (f LinearDrift) Install(s *sim.Simulator, c *Composite) {
 	if f.End <= f.Start || f.Steps < 1 {
 		panic("faults: LinearDrift requires End > Start and Steps >= 1")
 	}
-	slot := newSlot("drift")
+	slot := c.newSlot("drift")
 	for i := 0; i <= f.Steps; i++ {
 		frac := float64(i) / float64(f.Steps)
 		at := f.Start + frac*(f.End-f.Start)

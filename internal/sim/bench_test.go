@@ -52,6 +52,63 @@ func BenchmarkStationRateChanges(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedule measures the steady-state cost of scheduling one event
+// that later fires: the kernel's hottest path. With the event arena this
+// must run at 0 allocs/op once the arena has warmed up.
+func BenchmarkSchedule(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, func() {})
+		if s.Pending() > 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkTimerStop measures schedule-then-cancel churn, the pattern
+// Station.reschedule generates on every rate change.
+func BenchmarkTimerStop(b *testing.B) {
+	s := New()
+	timers := make([]Timer, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timers = append(timers, s.After(float64(i%64)+1, func() {}))
+		if len(timers) == cap(timers) {
+			for _, tm := range timers {
+				tm.Stop()
+			}
+			timers = timers[:0]
+			s.Run()
+		}
+	}
+	b.StopTimer()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	s.Run()
+}
+
+// BenchmarkStationPipeline measures a deep FCFS queue draining end to end:
+// the switch and RAID experiments push thousands of queued requests through
+// a station, so dequeue cost dominates.
+func BenchmarkStationPipeline(b *testing.B) {
+	s := New()
+	st := NewStation(s, "bench", 1e6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SubmitFunc(1, nil)
+		if st.QueueLen() >= 4096 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
 func BenchmarkRNGUint64(b *testing.B) {
 	r := NewRNG(1)
 	var sink uint64

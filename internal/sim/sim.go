@@ -6,10 +6,17 @@
 // All device-level experiments in this repository (disks, switches, RAID
 // arrays) run on this kernel so that months of simulated operation complete
 // in milliseconds and every run is reproducible from a seed.
+//
+// The kernel is built for the hot path: events live in a pooled arena and
+// are ordered by a hand-rolled 4-ary min-heap of arena indices, so a
+// schedule/fire cycle performs no heap allocation in steady state and no
+// interface boxing ever. Timer handles are values carrying a generation
+// counter, which keeps them safe against arena slot reuse: a handle whose
+// event has fired, been stopped, or whose slot now holds a newer event
+// reports not-pending and refuses to stop the newcomer.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -21,72 +28,72 @@ type Time = float64
 // Duration is a span of virtual time in seconds.
 type Duration = float64
 
-// event is a scheduled callback. Events are ordered by time, with ties
-// broken by insertion sequence so that execution order is deterministic.
+// event is a scheduled callback, stored in the simulator's arena. Events
+// are ordered by time, with ties broken by insertion sequence so that
+// execution order is deterministic.
 type event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // heap index, -1 once popped or canceled
-	stopped bool
+	at  Time
+	seq uint64
+	fn  func()
+	// pos is the event's position in the heap, -1 once fired or stopped.
+	pos int32
+	// gen increments every time the arena slot is released, invalidating
+	// any Timer handles that still point at the slot.
+	gen uint32
 }
 
-// Timer is a handle to a scheduled event that can be canceled before it
-// fires.
+// Timer is a value handle to a scheduled event that can be canceled before
+// it fires. The zero Timer is valid and behaves as an already-expired
+// timer. Handles stay safe after their event fires or is stopped, even if
+// the underlying arena slot is reused for a later event.
 type Timer struct {
-	ev *event
+	s   *Simulator
+	idx int32
+	gen uint32
 }
 
-// Stop cancels the timer. It reports whether the event was still pending;
-// it returns false if the event already fired or was already stopped.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index < 0 {
+// Stop cancels the timer, removes the event from the queue, and releases
+// the captured closure immediately. It reports whether the event was still
+// pending; it returns false if the event already fired or was already
+// stopped.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.stopped = true
+	ev := &t.s.arena[t.idx]
+	if ev.gen != t.gen || ev.pos < 0 {
+		return false
+	}
+	t.s.removeAt(int(ev.pos))
+	t.s.release(t.idx)
 	return true
 }
 
 // Pending reports whether the timer's event has yet to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index >= 0
-}
-
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	ev := &t.s.arena[t.idx]
+	return ev.gen == t.gen && ev.pos >= 0
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+
+// heapArity is the branching factor of the event heap. A 4-ary heap halves
+// the tree depth of a binary heap, trading slightly more comparisons per
+// level for fewer cache-missing swaps — a win for the sift-down-dominated
+// pop path.
+const heapArity = 4
 
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not ready for use; call New.
 type Simulator struct {
-	now     Time
-	events  eventHeap
+	now Time
+	// arena holds every event slot ever allocated; free lists the slots
+	// currently available for reuse; heap holds arena indices of the live
+	// (scheduled, unstopped) events ordered by (at, seq).
+	arena   []event
+	free    []int32
+	heap    []int32
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -104,29 +111,132 @@ func (s *Simulator) Now() Time { return s.now }
 // determinism check in tests.
 func (s *Simulator) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including events that
-// were stopped but not yet discarded).
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending returns the number of live events still queued. Stopped events
+// are removed from the queue eagerly, so they never inflate this count.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// alloc takes a slot from the free list (or grows the arena) and
+// initializes it for a new event.
+func (s *Simulator) alloc(t Time, fn func()) int32 {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.arena = append(s.arena, event{})
+		idx = int32(len(s.arena) - 1)
+	}
+	ev := &s.arena[idx]
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	s.seq++
+	return idx
+}
+
+// release returns a slot to the free list, dropping the closure so it can
+// be collected immediately and bumping the generation so stale Timer
+// handles go dead.
+func (s *Simulator) release(idx int32) {
+	ev := &s.arena[idx]
+	ev.fn = nil
+	ev.pos = -1
+	ev.gen++
+	s.free = append(s.free, idx)
+}
+
+// less orders heap entries by (at, seq).
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.arena[a], &s.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores heap order from position i toward the root.
+func (s *Simulator) siftUp(i int) {
+	idx := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := s.heap[parent]
+		if !s.less(idx, p) {
+			break
+		}
+		s.heap[i] = p
+		s.arena[p].pos = int32(i)
+		i = parent
+	}
+	s.heap[i] = idx
+	s.arena[idx].pos = int32(i)
+}
+
+// siftDown restores heap order from position i toward the leaves.
+func (s *Simulator) siftDown(i int) {
+	idx := s.heap[i]
+	n := len(s.heap)
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		b := s.heap[best]
+		if !s.less(b, idx) {
+			break
+		}
+		s.heap[i] = b
+		s.arena[b].pos = int32(i)
+		i = best
+	}
+	s.heap[i] = idx
+	s.arena[idx].pos = int32(i)
+}
+
+// removeAt deletes the heap entry at position i, preserving heap order.
+func (s *Simulator) removeAt(i int) {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap = s.heap[:n]
+	if i == n {
+		return
+	}
+	s.heap[i] = last
+	s.arena[last].pos = int32(i)
+	s.siftDown(i)
+	s.siftUp(i)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a logic error in the caller, and silently
 // clamping would hide it.
-func (s *Simulator) At(t Time, fn func()) *Timer {
+func (s *Simulator) At(t Time, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: schedule at non-finite time %v", t))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	idx := s.alloc(t, fn)
+	i := len(s.heap)
+	s.heap = append(s.heap, idx)
+	s.arena[idx].pos = int32(i)
+	s.siftUp(i)
+	return Timer{s: s, idx: idx, gen: s.arena[idx].gen}
 }
 
 // After schedules fn to run d seconds from now. A non-positive d runs the
 // event at the current time, after events already queued for this instant.
-func (s *Simulator) After(d Duration, fn func()) *Timer {
+func (s *Simulator) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -138,19 +248,20 @@ func (s *Simulator) After(d Duration, fn func()) *Timer {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // step pops and executes the next event. It reports false when the queue is
-// empty.
+// empty. Stopped events never reach here: Timer.Stop removes them eagerly.
 func (s *Simulator) step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.stopped {
-			continue
-		}
-		s.now = ev.at
-		s.fired++
-		ev.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	idx := s.heap[0]
+	s.removeAt(0)
+	ev := &s.arena[idx]
+	s.now = ev.at
+	fn := ev.fn
+	s.release(idx)
+	s.fired++
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -167,18 +278,7 @@ func (s *Simulator) RunUntil(t Time) {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
 	}
 	s.stopped = false
-	for !s.stopped {
-		// Peek for the next runnable event within the horizon.
-		idx := -1
-		for len(s.events) > 0 && s.events[0].stopped {
-			heap.Pop(&s.events)
-		}
-		if len(s.events) > 0 && s.events[0].at <= t {
-			idx = 0
-		}
-		if idx < 0 {
-			break
-		}
+	for !s.stopped && len(s.heap) > 0 && s.arena[s.heap[0]].at <= t {
 		s.step()
 	}
 	if !s.stopped && s.now < t {

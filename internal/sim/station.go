@@ -30,6 +30,56 @@ func (r *Request) Wait() Duration { return r.Started - r.Enqueued }
 // Latency returns the total time from submission to completion.
 func (r *Request) Latency() Duration { return r.Finished - r.Enqueued }
 
+// reqRing is a growable FIFO ring buffer of requests. The switch and RAID
+// experiments hold thousands of queued requests, so dequeue must be O(1)
+// rather than the O(n) slice-shift of copy(q, q[1:]).
+type reqRing struct {
+	buf  []*Request // capacity is always a power of two (or zero)
+	head int
+	n    int
+}
+
+func (q *reqRing) len() int { return q.n }
+
+func (q *reqRing) push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+func (q *reqRing) pop() *Request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
+}
+
+// grow doubles the capacity, unwrapping the ring into the new buffer.
+func (q *reqRing) grow() {
+	capNew := len(q.buf) * 2
+	if capNew == 0 {
+		capNew = 8
+	}
+	buf := make([]*Request, capNew)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// clear drops every queued request, releasing references for collection.
+func (q *reqRing) clear() {
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = nil
+	}
+	q.head = 0
+	q.n = 0
+}
+
 // Station is a first-come-first-served single server with a time-varying
 // service rate. The effective rate is baseRate x multiplier; a multiplier
 // of zero stalls the server (work in progress is preserved and resumes when
@@ -44,9 +94,14 @@ type Station struct {
 	mult     float64
 	failed   bool
 
-	queue []*Request
+	queue reqRing
 	cur   *Request
-	timer *Timer
+	timer Timer
+	// timerAt is the virtual time the pending completion timer fires at;
+	// only meaningful while timer.Pending(). reschedule uses it to skip
+	// the Stop/At churn when a rate change leaves the completion time
+	// unchanged.
+	timerAt Time
 	// lastProgress is the time at which cur.remaining was last brought up
 	// to date.
 	lastProgress Time
@@ -85,7 +140,7 @@ func (st *Station) EffectiveRate() float64 {
 
 // QueueLen returns the number of requests waiting behind the one in
 // service.
-func (st *Station) QueueLen() int { return len(st.queue) }
+func (st *Station) QueueLen() int { return st.queue.len() }
 
 // InService returns the request currently being served, or nil.
 func (st *Station) InService() *Request { return st.cur }
@@ -131,7 +186,7 @@ func (st *Station) Submit(r *Request) {
 		st.start(r)
 		return
 	}
-	st.queue = append(st.queue, r)
+	st.queue.push(r)
 }
 
 // SubmitFunc is a convenience wrapper building a Request from a size and a
@@ -166,16 +221,13 @@ func (st *Station) Fail() {
 	}
 	st.progress()
 	st.failed = true
-	if st.timer != nil {
-		st.timer.Stop()
-		st.timer = nil
-	}
+	st.stopTimer()
 	if st.cur != nil {
 		st.abandoned++
 		st.cur = nil
 	}
-	st.abandoned += uint64(len(st.queue))
-	st.queue = nil
+	st.abandoned += uint64(st.queue.len())
+	st.queue.clear()
 }
 
 // Repair returns a failed station to service with an empty queue, modeling
@@ -186,6 +238,10 @@ func (st *Station) Repair() {
 	}
 	st.failed = false
 	st.mult = 1
+	// Bring lastProgress up to the repair instant so the downtime between
+	// Fail and Repair can never be charged to the first post-repair
+	// request's progress or to BusyTime.
+	st.lastProgress = st.sim.Now()
 }
 
 // progress charges elapsed service time against the current request and
@@ -214,22 +270,35 @@ func (st *Station) start(r *Request) {
 	st.reschedule()
 }
 
+// stopTimer cancels the completion timer if one is pending.
+func (st *Station) stopTimer() {
+	st.timer.Stop()
+	st.timer = Timer{}
+}
+
 // reschedule (re)computes the completion event for the request in service
-// under the current effective rate.
+// under the current effective rate. It assumes progress() has already run
+// at the current instant, so cur.remaining is up to date. When the
+// completion time is unchanged the pending timer is kept, avoiding
+// Stop/schedule churn on no-op rate transitions.
 func (st *Station) reschedule() {
-	if st.timer != nil {
-		st.timer.Stop()
-		st.timer = nil
-	}
 	if st.cur == nil {
+		st.stopTimer()
 		return
 	}
 	rate := st.EffectiveRate()
 	if rate <= 0 {
-		return // stalled: completion will be scheduled when rate recovers
+		// Stalled: completion will be scheduled when the rate recovers.
+		st.stopTimer()
+		return
 	}
-	d := st.cur.remaining / rate
-	st.timer = st.sim.After(d, st.finish)
+	at := st.sim.Now() + st.cur.remaining/rate
+	if st.timer.Pending() && at == st.timerAt {
+		return
+	}
+	st.stopTimer()
+	st.timer = st.sim.At(at, st.finish)
+	st.timerAt = at
 }
 
 // finish completes the request in service and starts the next one.
@@ -237,17 +306,14 @@ func (st *Station) finish() {
 	st.progress()
 	r := st.cur
 	st.cur = nil
-	st.timer = nil
+	st.timer = Timer{}
 	if r == nil {
 		return
 	}
 	r.Finished = st.sim.Now()
 	st.completed++
-	if len(st.queue) > 0 {
-		next := st.queue[0]
-		copy(st.queue, st.queue[1:])
-		st.queue = st.queue[:len(st.queue)-1]
-		st.start(next)
+	if st.queue.len() > 0 {
+		st.start(st.queue.pop())
 	}
 	if r.OnDone != nil {
 		r.OnDone(r)
