@@ -165,6 +165,8 @@ func (d *DHT) detectorLoop() {
 	for i, n := range d.nodes {
 		last[i] = n.w.UnitsDone()
 	}
+	rates := make([]float64, d.p.Nodes)
+	medScratch := make([]float64, d.p.Nodes)
 	tick := time.NewTicker(d.p.SampleEvery)
 	defer tick.Stop()
 	for {
@@ -172,13 +174,14 @@ func (d *DHT) detectorLoop() {
 		case <-d.stop:
 			return
 		case <-tick.C:
-			rates := make([]float64, d.p.Nodes)
 			for i, n := range d.nodes {
 				cur := n.w.UnitsDone()
 				rates[i] = float64(cur - last[i])
 				last[i] = cur
 			}
-			med := stats.Median(rates)
+			// rates stays index-aligned with the nodes below, so the
+			// in-place median works on a reused scratch copy.
+			med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
 			for i := range rates {
 				backlog := d.nodes[i].outstanding.Load()
 				switch {

@@ -260,7 +260,9 @@ func (s speculative) Run(p *Pool, tasks []Task) Report {
 				case <-tick.C:
 					mu.Lock()
 					if len(durations) >= 3 {
-						med := stats.Median(durations)
+						// durations is append-only and only consumed here,
+						// so the in-place median may freely reorder it.
+						med := stats.MedianInPlace(durations)
 						limit := time.Duration(s.timeoutFactor * med * float64(time.Second))
 						for _, e := range inflight {
 							if e.clones < s.maxClones &&
@@ -420,6 +422,8 @@ func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
 	stop := make(chan struct{})
 	go func() {
 		last := snapshotUnits(p)
+		rates := make([]float64, n)
+		medScratch := make([]float64, n)
 		tick := time.NewTicker(sample)
 		defer tick.Stop()
 		for {
@@ -428,12 +432,13 @@ func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
 				return
 			case <-tick.C:
 				cur := snapshotUnits(p)
-				rates := make([]float64, n)
 				for i := range rates {
 					rates[i] = float64(cur[i] - last[i])
 				}
 				last = cur
-				med := stats.Median(rates)
+				// rates must stay index-aligned with the workers below, so
+				// the in-place median works on a reused scratch copy.
+				med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
 				if med <= 0 {
 					continue
 				}

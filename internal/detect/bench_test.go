@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"testing"
 
 	"failstutter/internal/spec"
@@ -49,5 +50,49 @@ func BenchmarkPeerSetVerdict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Verdict(ids[i%len(ids)], 10)
+	}
+}
+
+// benchPeerFleetSweep measures one full monitoring round at fleet size
+// peers and window length 64: every member observes a fresh sample, then
+// every member is classified — the per-tick cost of always-on peer
+// detection.
+func benchPeerFleetSweep(b *testing.B, peers int) {
+	p := NewPeerSet(PeerConfig{WindowSamples: 64, Threshold: 0.7, MinPeers: 4})
+	ids := make([]string, peers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%03d", i)
+	}
+	for k := 0; k < 64; k++ {
+		for i, id := range ids {
+			p.Observe(id, float64(k), 100+float64(i%7))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(64 + i)
+		for j, id := range ids {
+			p.Observe(id, now, 100+float64((i+j)%7))
+		}
+		for _, id := range ids {
+			p.Verdict(id, now)
+		}
+	}
+}
+
+func BenchmarkPeerSetFleetSweep8(b *testing.B)   { benchPeerFleetSweep(b, 8) }
+func BenchmarkPeerSetFleetSweep64(b *testing.B)  { benchPeerFleetSweep(b, 64) }
+func BenchmarkPeerSetFleetSweep256(b *testing.B) { benchPeerFleetSweep(b, 256) }
+
+func BenchmarkTrendDetectorVerdictW64(b *testing.B) {
+	d := NewTrendDetector(TrendConfig{WindowSamples: 64, DeclineFrac: 0.1})
+	for i := 0; i < 64; i++ {
+		d.Observe(float64(i), 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := float64(64 + i)
+		d.Observe(now, 100+float64(i%5))
+		d.Verdict(now)
 	}
 }

@@ -251,13 +251,22 @@ type PeerConfig struct {
 // peers' recent rates. A fleet-wide slowdown (workload shift, shared
 // bottleneck) moves the median too, so nothing is flagged; only divergent
 // components fire — the property ablation A3 measures.
+//
+// Each member's window median is cached on Observe and mirrored into one
+// ascending array of fleet medians, so a verdict costs two bounded copies
+// instead of re-sorting every peer's window: a full fleet sweep drops
+// from O(P^2 * W log W) to O(P^2) float moves with zero allocation.
 type PeerSet struct {
 	cfg     PeerConfig
 	members map[string]*peerMember
+	meds    []float64 // every member's cached window median, ascending
+	scratch []float64 // reusable buffer for exclude-one fleet medians
+	ids     []string  // sorted member ids; nil after a membership change
 }
 
 type peerMember struct {
 	window       *stats.Window
+	med          float64 // cached window.Median(), maintained by Observe
 	lastProgress float64
 	sawAnything  bool
 }
@@ -274,9 +283,11 @@ func NewPeerSet(cfg PeerConfig) *PeerSet {
 // Observe records a rate sample for the named component.
 func (p *PeerSet) Observe(id string, now, rate float64) {
 	m := p.members[id]
-	if m == nil {
+	fresh := m == nil
+	if fresh {
 		m = &peerMember{window: stats.NewWindow(p.cfg.WindowSamples)}
 		p.members[id] = m
+		p.ids = nil // membership changed; cached sorted ids are stale
 	}
 	if !m.sawAnything {
 		m.lastProgress = now
@@ -286,32 +297,44 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 		m.lastProgress = now
 	}
 	m.window.Observe(rate)
+	med := m.window.Median()
+	if !fresh {
+		p.meds = stats.SortedRemove(p.meds, m.med)
+	}
+	p.meds = stats.SortedInsert(p.meds, med)
+	m.med = med
 }
 
-// Members returns the component ids in sorted order.
+// Members returns the component ids in sorted order. The slice is cached
+// until membership changes; callers must not modify it.
 func (p *PeerSet) Members() []string {
-	ids := make([]string, 0, len(p.members))
-	for id := range p.members {
-		ids = append(ids, id)
+	if p.ids == nil {
+		p.ids = make([]string, 0, len(p.members))
+		for id := range p.members {
+			p.ids = append(p.ids, id)
+		}
+		sort.Strings(p.ids)
 	}
-	sort.Strings(ids)
-	return ids
+	return p.ids
 }
 
-// peerMedian computes the median of all members' recent medians,
-// excluding the named component.
-func (p *PeerSet) peerMedian(exclude string) float64 {
-	meds := make([]float64, 0, len(p.members))
-	for id, m := range p.members {
-		if id == exclude || m.window.Len() == 0 {
-			continue
-		}
-		meds = append(meds, m.window.Median())
-	}
-	if len(meds) == 0 {
+// peerMedian computes the median of all members' cached recent medians,
+// excluding the given member: two copies into a reusable scratch buffer
+// skip the member's own entry, then the fleet median reads straight off
+// the still-sorted scratch.
+func (p *PeerSet) peerMedian(m *peerMember) float64 {
+	n := len(p.meds)
+	if n <= 1 {
 		return math.NaN()
 	}
-	return stats.Median(meds)
+	if cap(p.scratch) < n-1 {
+		p.scratch = make([]float64, 0, 2*n)
+	}
+	j := stats.SearchSorted(p.meds, m.med)
+	s := p.scratch[:n-1]
+	copy(s, p.meds[:j])
+	copy(s[j:], p.meds[j+1:])
+	return stats.QuantileSorted(s, 0.5)
 }
 
 // Verdict classifies the named component as of the given time.
@@ -326,11 +349,11 @@ func (p *PeerSet) Verdict(id string, now float64) spec.Verdict {
 	if len(p.members) < p.cfg.MinPeers || m.window.Len() == 0 {
 		return spec.Nominal
 	}
-	ref := p.peerMedian(id)
+	ref := p.peerMedian(m)
 	if math.IsNaN(ref) {
 		return spec.Nominal
 	}
-	if m.window.Median() < p.cfg.Threshold*ref {
+	if m.med < p.cfg.Threshold*ref {
 		return spec.PerfFaulty
 	}
 	return spec.Nominal

@@ -22,6 +22,7 @@ type Registry struct {
 	states map[string]spec.Verdict
 	subs   []func(Event)
 	events []Event
+	ids    []string // sorted component ids; nil after a membership change
 }
 
 // NewRegistry returns an empty registry; unknown components are nominal.
@@ -35,9 +36,12 @@ func (r *Registry) Subscribe(fn func(Event)) { r.subs = append(r.subs, fn) }
 // Update publishes the component's verdict at the given time. Unchanged
 // verdicts are free: no event is recorded and no subscriber runs.
 func (r *Registry) Update(now float64, component string, v spec.Verdict) {
-	prev := r.states[component]
-	if prev == v {
+	prev, known := r.states[component]
+	if prev == v { // covers unknown components publishing nominal
 		return
+	}
+	if !known {
+		r.ids = nil // membership changed; cached sorted ids are stale
 	}
 	r.states[component] = v
 	ev := Event{At: now, Component: component, From: prev, To: v}
@@ -63,14 +67,21 @@ func (r *Registry) Events() []Event {
 }
 
 // Faulty returns the ids of components currently reported as other than
-// nominal, sorted.
+// nominal, sorted. The full sorted id slice is cached between membership
+// changes, so repeated calls only filter — they never re-sort.
 func (r *Registry) Faulty() []string {
-	var ids []string
-	for id, v := range r.states {
-		if v != spec.Nominal {
-			ids = append(ids, id)
+	if r.ids == nil {
+		r.ids = make([]string, 0, len(r.states))
+		for id := range r.states {
+			r.ids = append(r.ids, id)
+		}
+		sort.Strings(r.ids)
+	}
+	var out []string
+	for _, id := range r.ids {
+		if r.states[id] != spec.Nominal {
+			out = append(out, id)
 		}
 	}
-	sort.Strings(ids)
-	return ids
+	return out
 }

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 
 	"failstutter/internal/spec"
 	"failstutter/internal/stats"
@@ -26,12 +27,27 @@ type TrendConfig struct {
 // may be an early indicator of impending failure" detector — a healthy
 // but slow component never fires, a wearing-out component fires while
 // still inside its tolerance band, buying replacement lead time.
+//
+// The W*(W-1)/2 pairwise slopes are cached in a bounded ring: each
+// observation computes only the W-1 slopes to the new point (the slopes
+// of the evicted point expire in place), and the median of slopes runs
+// as a quickselect over a reusable scratch buffer, cached between
+// observations. The estimate is the exact Theil-Sen median — identical
+// to recomputing all pairs and sorting — at O(W) incremental cost and
+// zero steady-state allocation.
 type TrendDetector struct {
 	cfg          TrendConfig
 	times        *stats.Window
 	rates        *stats.Window
 	lastProgress float64
 	sawAnything  bool
+
+	step    int       // total observations so far = index of the next point
+	pairs   []float64 // W rows x (W-1) cols: slope(point r, older point s)
+	zeroDX  int       // live pairs with zero time delta (skipped by the estimate)
+	scratch []float64 // reusable buffer for the median-of-slopes quickselect
+	slope   float64   // cached Slope() result; valid while slopeOK
+	slopeOK bool
 }
 
 // NewTrendDetector validates cfg and builds the detector.
@@ -39,11 +55,21 @@ func NewTrendDetector(cfg TrendConfig) *TrendDetector {
 	if cfg.WindowSamples < 4 || cfg.DeclineFrac <= 0 || cfg.PromotionTimeout < 0 {
 		panic(fmt.Sprintf("detect: invalid trend config %+v", cfg))
 	}
+	w := cfg.WindowSamples
 	return &TrendDetector{
-		cfg:   cfg,
-		times: stats.NewWindow(cfg.WindowSamples),
-		rates: stats.NewWindow(cfg.WindowSamples),
+		cfg:     cfg,
+		times:   stats.NewWindow(w),
+		rates:   stats.NewWindow(w),
+		pairs:   make([]float64, w*(w-1)),
+		scratch: make([]float64, 0, w*(w-1)/2),
 	}
+}
+
+// row returns the slope-cache row for global point index p: the slopes
+// from p to each older point s, stored at column s-p+W-1.
+func (d *TrendDetector) row(p int) []float64 {
+	w := d.cfg.WindowSamples
+	return d.pairs[(p%w)*(w-1):][: w-1 : w-1]
 }
 
 // Observe implements Detector.
@@ -55,14 +81,80 @@ func (d *TrendDetector) Observe(now, rate float64) {
 	if rate > 0 {
 		d.lastProgress = now
 	}
+	w := d.cfg.WindowSamples
+	t := d.step
+	// The point evicted by this observation takes its pairs with it;
+	// settle its zero-dx accounting before the windows advance.
+	if t >= w && d.zeroDX > 0 {
+		oldTime := d.times.At(0)
+		for i := 1; i < d.times.Len(); i++ {
+			if d.times.At(i) == oldTime {
+				d.zeroDX--
+			}
+		}
+	}
 	d.times.Observe(now)
 	d.rates.Observe(rate)
+	// Cache the slope from every surviving older point to the new one.
+	n := d.times.Len()
+	row := d.row(t)
+	for i := 0; i < n-1; i++ {
+		x := d.times.At(i)
+		s := t - (n - 1) + i // global index of the i-th oldest point
+		if now == x {
+			d.zeroDX++
+		}
+		row[s-t+w-1] = (rate - d.rates.At(i)) / (now - x)
+	}
+	d.step++
+	d.slopeOK = false
 }
 
 // Slope returns the current robust rate slope (units/s per second), or
-// NaN before the window fills.
+// NaN before at least two distinct-time points arrive. The value is
+// computed lazily and cached until the next observation.
 func (d *TrendDetector) Slope() float64 {
-	return stats.TheilSen(d.times.Values(), d.rates.Values())
+	if !d.slopeOK {
+		d.slope = d.computeSlope()
+		d.slopeOK = true
+	}
+	return d.slope
+}
+
+// computeSlope gathers the live cached slopes into the scratch buffer
+// and takes their median in place — the exact Theil-Sen estimate.
+func (d *TrendDetector) computeSlope() float64 {
+	n := d.times.Len()
+	if n < 2 {
+		return math.NaN()
+	}
+	w := d.cfg.WindowSamples
+	newest := d.step - 1
+	oldest := d.step - n
+	buf := d.scratch[:0]
+	if d.zeroDX == 0 {
+		// Fast path: every pair is valid; each row's live suffix copies over
+		// wholesale.
+		for p := oldest + 1; p <= newest; p++ {
+			row := d.row(p)
+			buf = append(buf, row[oldest-p+w-1:]...)
+		}
+	} else {
+		for p := oldest + 1; p <= newest; p++ {
+			row := d.row(p)
+			tp := d.times.At(p - oldest)
+			for s := oldest; s < p; s++ {
+				if d.times.At(s-oldest) == tp {
+					continue // zero time delta: no defined slope
+				}
+				buf = append(buf, row[s-p+w-1])
+			}
+		}
+	}
+	if len(buf) == 0 {
+		return math.NaN()
+	}
+	return stats.MedianInPlace(buf)
 }
 
 // Verdict implements Detector.
@@ -76,8 +168,7 @@ func (d *TrendDetector) Verdict(now float64) spec.Verdict {
 	if !d.times.Full() {
 		return spec.Nominal
 	}
-	ts := d.times.Values()
-	span := ts[len(ts)-1] - ts[0]
+	span := d.times.At(d.times.Len()-1) - d.times.At(0)
 	if span <= 0 {
 		return spec.Nominal
 	}

@@ -32,10 +32,41 @@ func BenchmarkTheilSen100(b *testing.B) {
 	}
 }
 
+func BenchmarkQuantileInPlace1k(b *testing.B) {
+	xs := benchData(1000)
+	work := make([]float64, len(xs))
+	for i := 0; i < b.N; i++ {
+		copy(work, xs)
+		QuantileInPlace(work, 0.99)
+	}
+}
+
+func BenchmarkMedianInPlace1k(b *testing.B) {
+	xs := benchData(1000)
+	work := make([]float64, len(xs))
+	for i := 0; i < b.N; i++ {
+		copy(work, xs)
+		MedianInPlace(work)
+	}
+}
+
 func BenchmarkWindowObserve(b *testing.B) {
 	w := NewWindow(64)
 	for i := 0; i < b.N; i++ {
 		w.Observe(float64(i))
+	}
+}
+
+func BenchmarkWindowObserveMedian(b *testing.B) {
+	w := NewWindow(64)
+	for i := 0; i < 64; i++ {
+		w.Observe(float64(i % 17))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 13))
+		_ = w.Median()
+		_ = w.Quantile(0.95)
 	}
 }
 

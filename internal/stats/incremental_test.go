@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: across >= 10k random streams, the window's incremental
+// median/quantile (sorted companion) is bit-identical to copying the
+// values and sorting, at every step of the stream.
+func TestWindowQuantilesMatchSortReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for stream := 0; stream < 10000; stream++ {
+		capacity := 1 + rng.Intn(16)
+		w := NewWindow(capacity)
+		steps := 2 + rng.Intn(3*capacity)
+		for i := 0; i < steps; i++ {
+			var x float64
+			if rng.Intn(4) == 0 {
+				x = float64(rng.Intn(4)) // force duplicates
+			} else {
+				x = rng.NormFloat64() * 50
+			}
+			w.Observe(x)
+			ref := w.Values()
+			q := rng.Float64()
+			if got, want := w.Quantile(q), Quantile(ref, q); !sameFloat(got, want) {
+				t.Fatalf("stream %d step %d: Quantile(%v) = %v, want %v (window %v)",
+					stream, i, q, got, want, ref)
+			}
+			if got, want := w.Median(), Median(ref); !sameFloat(got, want) {
+				t.Fatalf("stream %d step %d: Median = %v, want %v (window %v)",
+					stream, i, got, want, ref)
+			}
+		}
+	}
+}
+
+// Property: the running mean/variance track the two-pass reference
+// within floating-point noise, across evictions and periodic recomputes.
+func TestWindowRunningMomentsMatchReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for stream := 0; stream < 500; stream++ {
+		capacity := 1 + rng.Intn(32)
+		w := NewWindow(capacity)
+		scratch := make([]float64, 0, capacity)
+		// Long streams exercise many evictions and several recomputes.
+		for i := 0; i < 6*capacity; i++ {
+			w.Observe(rng.NormFloat64() * 1000)
+			scratch = w.AppendValues(scratch[:0])
+			wantMean, wantVar := Mean(scratch), Variance(scratch)
+			if diff := math.Abs(w.Mean() - wantMean); diff > 1e-9*(1+math.Abs(wantMean)) {
+				t.Fatalf("stream %d step %d: Mean = %v, want %v (diff %g)",
+					stream, i, w.Mean(), wantMean, diff)
+			}
+			tol := 1e-9 * (1 + wantVar + 1e6) // squares reach ~1e6-scale magnitudes
+			if diff := math.Abs(w.Variance() - wantVar); diff > tol {
+				t.Fatalf("stream %d step %d: Variance = %v, want %v (diff %g)",
+					stream, i, w.Variance(), wantVar, diff)
+			}
+		}
+	}
+}
+
+func TestWindowNaNObservations(t *testing.T) {
+	w := NewWindow(3)
+	w.Observe(1)
+	w.Observe(math.NaN())
+	w.Observe(3)
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) {
+		t.Fatal("window containing NaN must report NaN moments")
+	}
+	// Quantiles still match the sort-based reference (NaNs order first).
+	if got, want := w.Median(), Median(w.Values()); !sameFloat(got, want) {
+		t.Fatalf("Median with NaN = %v, want %v", got, want)
+	}
+	// Once the NaN is evicted the moments recover exactly.
+	w.Observe(5)
+	w.Observe(7)
+	if got := w.Mean(); got != 5 {
+		t.Fatalf("Mean after NaN eviction = %v, want 5", got)
+	}
+	if got := w.Median(); got != 5 {
+		t.Fatalf("Median after NaN eviction = %v, want 5", got)
+	}
+}
+
+func TestWindowAtAndAppendValues(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got := w.At(i); got != want {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+	scratch := make([]float64, 0, 3)
+	got := w.AppendValues(scratch)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("AppendValues = %v", got)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("AppendValues did not reuse caller scratch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	w.At(3)
+}
+
+func TestWindowVarianceBasics(t *testing.T) {
+	w := NewWindow(4)
+	if !math.IsNaN(w.Variance()) {
+		t.Fatal("empty window variance not NaN")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(v)
+	}
+	// Window holds 5, 5, 7, 9: mean 6.5, variance 2.75.
+	if got := w.Variance(); math.Abs(got-2.75) > 1e-12 {
+		t.Fatalf("Variance = %v, want 2.75", got)
+	}
+	if got := w.Stddev(); math.Abs(got-math.Sqrt(2.75)) > 1e-12 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+// The steady-state observation and query path of a full window must not
+// allocate: this is the per-completion-event cost of always-on detection.
+func TestWindowSteadyStateDoesNotAllocate(t *testing.T) {
+	w := NewWindow(64)
+	for i := 0; i < 128; i++ {
+		w.Observe(float64(i % 17))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		i++
+		w.Observe(float64(i % 13))
+		_ = w.Median()
+		_ = w.Quantile(0.95)
+		_ = w.Mean()
+		_ = w.Variance()
+	}); n != 0 {
+		t.Fatalf("steady-state window path allocates %v per run", n)
+	}
+}

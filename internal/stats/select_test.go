@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sameFloat reports bitwise-meaningful equality: equal values or both NaN.
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch rng.Intn(10) {
+		case 0:
+			xs[i] = float64(rng.Intn(5)) // force duplicates
+		default:
+			xs[i] = rng.NormFloat64() * 100
+		}
+	}
+	return xs
+}
+
+// Property: Select returns exactly the k-th element of the sorted slice,
+// for every k, on random data with duplicates.
+func TestSelectMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := randSlice(rng, n)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for k := 0; k < n; k++ {
+			work := append([]float64(nil), xs...)
+			got := Select(work, k)
+			if got != sorted[k] {
+				t.Fatalf("trial %d: Select(%v, %d) = %v, want %v", trial, xs, k, got, sorted[k])
+			}
+			// Partition invariant: xs[k] in place, halves on either side.
+			for i := 0; i < k; i++ {
+				if floatLess(work[k], work[i]) {
+					t.Fatalf("trial %d: prefix element %v above selected %v", trial, work[i], work[k])
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if floatLess(work[i], work[k]) {
+					t.Fatalf("trial %d: suffix element %v below selected %v", trial, work[i], work[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectNaNOrdering(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{3, nan, 1, nan, 2}
+	if got := Select(append([]float64(nil), xs...), 0); !math.IsNaN(got) {
+		t.Fatalf("Select k=0 = %v, want NaN first like sort.Float64s", got)
+	}
+	if got := Select(append([]float64(nil), xs...), 2); got != 1 {
+		t.Fatalf("Select k=2 = %v, want 1", got)
+	}
+	if got := Select(append([]float64(nil), xs...), 4); got != 3 {
+		t.Fatalf("Select k=4 = %v, want 3", got)
+	}
+}
+
+func TestSelectOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select out of range did not panic")
+		}
+	}()
+	Select([]float64{1, 2}, 2)
+}
+
+// Property: QuantileInPlace is bit-identical to the copy-and-sort
+// Quantile, including interpolated positions, on random data.
+func TestQuantileInPlaceMatchesQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := randSlice(rng, n)
+		q := rng.Float64()
+		if trial%5 == 0 {
+			q = []float64{0, 0.25, 0.5, 0.75, 1}[rng.Intn(5)]
+		}
+		want := Quantile(xs, q)
+		got := QuantileInPlace(append([]float64(nil), xs...), q)
+		if !sameFloat(got, want) {
+			t.Fatalf("trial %d: QuantileInPlace(%v, %v) = %v, want %v", trial, xs, q, got, want)
+		}
+	}
+	if !math.IsNaN(QuantileInPlace(nil, 0.5)) || !math.IsNaN(QuantileInPlace([]float64{1}, -0.1)) {
+		t.Fatal("degenerate QuantileInPlace not NaN")
+	}
+	if !sameFloat(MedianInPlace([]float64{3, 1, 2}), 2) {
+		t.Fatal("MedianInPlace wrong")
+	}
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		xs := randSlice(rng, 1+rng.Intn(20))
+		sort.Float64s(xs)
+		q := rng.Float64()
+		if got, want := QuantileSorted(xs, q), Quantile(xs, q); !sameFloat(got, want) {
+			t.Fatalf("QuantileSorted = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: a slice maintained through SortedInsert/SortedRemove always
+// equals sorting the surviving multiset.
+func TestSortedInsertRemoveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 1000; trial++ {
+		var s []float64
+		var live []float64
+		for op := 0; op < 60; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				x := live[i]
+				live = append(live[:i], live[i+1:]...)
+				s = SortedRemove(s, x)
+			} else {
+				x := float64(rng.Intn(8))
+				live = append(live, x)
+				s = SortedInsert(s, x)
+			}
+			want := append([]float64(nil), live...)
+			sort.Float64s(want)
+			if len(s) != len(want) {
+				t.Fatalf("trial %d: len %d, want %d", trial, len(s), len(want))
+			}
+			for i := range want {
+				if s[i] != want[i] {
+					t.Fatalf("trial %d: maintained %v, want %v", trial, s, want)
+				}
+			}
+		}
+	}
+	if got := SortedRemove([]float64{1, 2}, 5); len(got) != 2 {
+		t.Fatal("SortedRemove of absent value changed the slice")
+	}
+	nan := math.NaN()
+	s := SortedInsert(SortedInsert(nil, 1), nan)
+	if !math.IsNaN(s[0]) || s[1] != 1 {
+		t.Fatalf("NaN not ordered first: %v", s)
+	}
+	if s = SortedRemove(s, nan); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("NaN not removed: %v", s)
+	}
+}
+
+func TestSearchSorted(t *testing.T) {
+	s := []float64{1, 2, 2, 4}
+	for _, tc := range []struct {
+		x    float64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 3}, {4, 3}, {5, 4}} {
+		if got := SearchSorted(s, tc.x); got != tc.want {
+			t.Fatalf("SearchSorted(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestSelectAndQuantileInPlaceDoNotAllocate(t *testing.T) {
+	xs := benchData(1024)
+	work := make([]float64, len(xs))
+	if n := testing.AllocsPerRun(100, func() {
+		copy(work, xs)
+		Select(work, 512)
+	}); n != 0 {
+		t.Fatalf("Select allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		copy(work, xs)
+		QuantileInPlace(work, 0.99)
+	}); n != 0 {
+		t.Fatalf("QuantileInPlace allocates %v per run", n)
+	}
+}

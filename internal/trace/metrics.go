@@ -37,6 +37,7 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+	nan    uint64
 }
 
 // NewHistogram builds a histogram with the given number of logarithmic
@@ -59,8 +60,15 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	}
 }
 
-// Observe records a value.
+// Observe records a value. NaN values are counted separately (see
+// NaNCount) and excluded from the buckets, count, sum, min and max: a
+// NaN would otherwise poison the running sum forever while landing
+// silently in a boundary bucket.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		h.nan++
+		return
+	}
 	h.count++
 	h.sum += v
 	if v < h.min {
@@ -75,8 +83,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[idx]++
 }
 
-// Count returns the number of observations.
+// Count returns the number of non-NaN observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// NaNCount returns the number of NaN observations, which are tracked
+// apart from every other statistic.
+func (h *Histogram) NaNCount() uint64 { return h.nan }
 
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() float64 { return h.sum }

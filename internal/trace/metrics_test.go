@@ -32,6 +32,39 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+// Regression: a NaN observation used to land in a boundary bucket while
+// poisoning the running sum (and thus Mean) forever, yet leaving min/max
+// untouched — an inconsistent record. NaNs are now counted apart and
+// excluded from every other statistic.
+func TestHistogramNaNObservations(t *testing.T) {
+	h := NewHistogram(0.001, 1000, 30)
+	h.Observe(1)
+	h.Observe(math.NaN())
+	h.Observe(3)
+	if h.NaNCount() != 1 {
+		t.Fatalf("NaNCount = %d, want 1", h.NaNCount())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (NaN excluded)", h.Count())
+	}
+	if h.Sum() != 4 || h.Mean() != 2 {
+		t.Fatalf("sum/mean = %v/%v, want 4/2", h.Sum(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 3 {
+		t.Fatalf("min/max = %v/%v, want 1/3", h.Min(), h.Max())
+	}
+	var bucketed uint64
+	for _, c := range h.counts {
+		bucketed += c
+	}
+	if bucketed != 2 {
+		t.Fatalf("bucketed observations = %d, want 2 (NaN kept out of buckets)", bucketed)
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Fatalf("median after NaN = %v, want a real value", q)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram(1, 10, 4)
 	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) {
