@@ -6,22 +6,35 @@
 //
 //	fstutter list                 # show every experiment and its claim
 //	fstutter run E01 E03 A2      # run selected experiments
+//	fstutter e7                   # bare id: same as `run E07`
 //	fstutter all                  # run the full suite
 //
 // Flags (accepted before or after the subcommand):
 //
-//	-seed N      random seed (default 42)
-//	-quick       shrink workloads for a fast pass (the test suite's mode)
-//	-parallel N  experiment fan-out for `all` (default GOMAXPROCS)
+//	-seed N           random seed (default 42)
+//	-quick            shrink workloads for a fast pass (the test suite's mode)
+//	-parallel N       experiment fan-out for `all` (default GOMAXPROCS)
+//	-trace-out PATH   write Chrome trace-event JSON (open in Perfetto or
+//	                  chrome://tracing); a directory gets <ID>.trace.json
+//	                  per experiment, a .json path is used verbatim when
+//	                  exactly one experiment runs
+//	-metrics-out DIR  write <ID>.metrics.json and <ID>.metrics.csv
+//	-audit            print the verdict audit timeline per experiment and,
+//	                  with an output directory, write <ID>.audit.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"failstutter/internal/experiments"
+	"failstutter/internal/trace"
 )
 
 func main() {
@@ -30,6 +43,9 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for `all` (1 = serial; tables are identical either way)")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON to this directory (or .json file for a single experiment)")
+	metricsOut := flag.String("metrics-out", "", "write metrics JSON and CSV dumps to this directory")
+	audit := flag.Bool("audit", false, "print the verdict audit timeline per experiment")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -46,7 +62,13 @@ func main() {
 		os.Exit(2)
 	}
 	asCSV = *format == "csv"
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{
+		Seed: *seed, Quick: *quick,
+		Trace:   *traceOut != "",
+		Audit:   *audit,
+		Metrics: *metricsOut != "",
+	}
+	sink := artifactSink{traceOut: *traceOut, metricsOut: *metricsOut, audit: *audit}
 
 	switch cmd {
 	case "list":
@@ -54,31 +76,154 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 			fmt.Printf("     paper: %s\n", e.PaperClaim)
 		}
+		return
 	case "all":
 		// RunAll fans the virtual-time experiments across -parallel
 		// workers and returns tables in display order; output is
 		// deterministic for a given seed regardless of parallelism.
 		for _, tbl := range experiments.RunAll(cfg, *parallel) {
 			printTable(tbl)
+			sink.emit(tbl, false)
 		}
+		return
 	case "run":
 		if len(operands) == 0 {
 			fmt.Fprintln(os.Stderr, "fstutter run: at least one experiment id required")
 			os.Exit(2)
 		}
-		for _, id := range operands {
-			e, err := experiments.Get(id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			printTable(e.Run(cfg))
-		}
 	default:
-		fmt.Fprintf(os.Stderr, "fstutter: unknown command %q\n", cmd)
-		usage()
-		os.Exit(2)
+		// A bare experiment id ("E07", "e7", "a2") is shorthand for
+		// `run <ID>`.
+		if _, ok := normalizeID(cmd); !ok {
+			fmt.Fprintf(os.Stderr, "fstutter: unknown command %q\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+		operands = append([]string{cmd}, operands...)
 	}
+
+	ids := make([]string, len(operands))
+	for i, raw := range operands {
+		id, ok := normalizeID(raw)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", raw)
+			os.Exit(1)
+		}
+		ids[i] = id
+	}
+	single := len(ids) == 1
+	for _, id := range ids {
+		e, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl := e.Run(cfg)
+		printTable(tbl)
+		sink.emit(tbl, single)
+	}
+}
+
+// normalizeID resolves user spellings of experiment ids: case-insensitive
+// and tolerant of unpadded E-series numbers (e7 -> E07).
+func normalizeID(raw string) (string, bool) {
+	id := strings.ToUpper(raw)
+	if _, err := experiments.Get(id); err == nil {
+		return id, true
+	}
+	if len(id) > 1 {
+		if n, err := strconv.Atoi(id[1:]); err == nil {
+			padded := fmt.Sprintf("%c%02d", id[0], n)
+			if _, err := experiments.Get(padded); err == nil {
+				return padded, true
+			}
+			bare := fmt.Sprintf("%c%d", id[0], n)
+			if _, err := experiments.Get(bare); err == nil {
+				return bare, true
+			}
+		}
+	}
+	return "", false
+}
+
+// artifactSink writes one experiment's telemetry artifacts to the
+// locations selected by the output flags.
+type artifactSink struct {
+	traceOut   string
+	metricsOut string
+	audit      bool
+}
+
+// emit writes the table's artifacts. Experiments without telemetry
+// wiring still produce valid (empty) artifacts, so downstream tooling
+// can glob the output directory without special cases. single marks a
+// lone-experiment invocation, where a -trace-out ending in .json names
+// the output file directly.
+func (k artifactSink) emit(tbl *experiments.Table, single bool) {
+	var tr *trace.Tracer
+	var al *trace.AuditLog
+	var reg *trace.Registry
+	if tel := tbl.Telemetry; tel != nil {
+		tr, al, reg = tel.Tracer, tel.Audit, tel.Metrics
+	}
+	if k.traceOut != "" {
+		path := filepath.Join(k.traceOut, tbl.ID+".trace.json")
+		if single && strings.HasSuffix(k.traceOut, ".json") {
+			path = k.traceOut
+		}
+		writeArtifact(path, tr.WriteChromeTrace)
+	}
+	if k.metricsOut != "" {
+		writeArtifact(filepath.Join(k.metricsOut, tbl.ID+".metrics.json"), reg.WriteJSON)
+		writeArtifact(filepath.Join(k.metricsOut, tbl.ID+".metrics.csv"), reg.WriteCSV)
+	}
+	if k.audit {
+		fmt.Printf("-- %s verdict audit trail --\n", tbl.ID)
+		if err := al.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if dir := k.auditDir(); dir != "" {
+			writeArtifact(filepath.Join(dir, tbl.ID+".audit.json"), al.WriteJSON)
+		}
+	}
+}
+
+// auditDir picks where <ID>.audit.json lands: alongside the metrics if
+// requested, else alongside the traces (when -trace-out names a
+// directory), else nowhere (stdout only).
+func (k artifactSink) auditDir() string {
+	if k.metricsOut != "" {
+		return k.metricsOut
+	}
+	if k.traceOut != "" && !strings.HasSuffix(k.traceOut, ".json") {
+		return k.traceOut
+	}
+	return ""
+}
+
+// writeArtifact creates path (and its directory) and streams write into
+// it, exiting on any error — a missing artifact must not fail silently.
+func writeArtifact(path string, write func(w io.Writer) error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fail(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fstutter:", err)
+	os.Exit(1)
 }
 
 // parseInterleaved reparses flags that appear after the subcommand (so
@@ -115,12 +260,18 @@ func usage() {
 usage:
   fstutter [flags] list
   fstutter [flags] run <id>...
+  fstutter [flags] <id>         (bare id: run one experiment, e.g. 'fstutter e7')
   fstutter [flags] all
 
 flags (before or after the subcommand):
-  -seed N        random seed (default 42)
-  -quick         shrink workloads for a fast pass
-  -format FMT    text (default) or csv
-  -parallel N    worker goroutines for 'all' (default GOMAXPROCS)
+  -seed N           random seed (default 42)
+  -quick            shrink workloads for a fast pass
+  -format FMT       text (default) or csv
+  -parallel N       worker goroutines for 'all' (default GOMAXPROCS)
+  -trace-out PATH   Chrome trace-event JSON: directory for <ID>.trace.json,
+                    or a .json file when running a single experiment
+  -metrics-out DIR  metrics registry dumps: <ID>.metrics.json + .csv
+  -audit            print the verdict audit timeline (and write
+                    <ID>.audit.json next to metrics or traces)
 `)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"failstutter/internal/stats"
+	"failstutter/internal/trace"
 )
 
 // Task is one unit of schedulable work.
@@ -67,10 +68,19 @@ func newTaskBoard(n int) *taskBoard {
 }
 
 // execute runs task t on worker w, aborting early if another execution
-// claims it first. It returns true if this execution won.
+// claims it first. It returns true if this execution won. Every scheduler
+// funnels task executions through here, so this is also the single span
+// touch point for the whole cluster runtime.
 func (b *taskBoard) execute(w *Worker, t Task) bool {
+	var span trace.SpanID
+	if w.tracer != nil {
+		span = w.tracer.BeginArg(w.track, "task", "cluster", 0, w.traceNow(), int64(t.ID))
+	}
 	ran := w.runUnits(t.Units, func() bool { return b.claimed[t.ID].Load() })
 	w.tasksDone.Add(1)
+	if w.tracer != nil {
+		w.tracer.End(span, w.traceNow())
+	}
 	if ran < t.Units || !b.claimed[t.ID].CompareAndSwap(false, true) {
 		b.wasted.Add(int64(ran))
 		return false

@@ -18,6 +18,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"failstutter/internal/trace"
 )
 
 // Worker is one compute node: it executes abstract work units, each
@@ -33,7 +35,19 @@ type Worker struct {
 	speedBits atomic.Uint64 // float64 bits
 	unitsDone atomic.Int64
 	tasksDone atomic.Int64
+
+	// tracer/track/epoch record task spans in wall-clock seconds since
+	// epoch. Plain fields: Pool.SetTracer must be called before a
+	// scheduler's Run spawns worker goroutines (the Tracer itself is
+	// mutex-protected once recording starts).
+	tracer *trace.Tracer
+	track  trace.TrackID
+	epoch  time.Time
 }
+
+// traceNow returns the worker's trace timestamp: wall-clock seconds since
+// the pool's tracing epoch.
+func (w *Worker) traceNow() float64 { return time.Since(w.epoch).Seconds() }
 
 // NewWorker builds a worker with the given id and work-unit quantum at
 // speed 1.
@@ -132,6 +146,21 @@ func NewPool(n int, quantum time.Duration) *Pool {
 
 // Workers returns the pool members.
 func (p *Pool) Workers() []*Worker { return p.workers }
+
+// SetTracer attaches a span tracer to every worker, recording each task
+// execution on a "worker-<id>" track in wall-clock seconds since this
+// call. Call before handing the pool to a scheduler: worker goroutines
+// read the tracer field without synchronization.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	epoch := time.Now()
+	for _, w := range p.workers {
+		w.tracer = t
+		w.epoch = epoch
+		if t != nil {
+			w.track = t.Track(fmt.Sprintf("worker-%d", w.id))
+		}
+	}
+}
 
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }

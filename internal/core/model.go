@@ -68,6 +68,15 @@ type AttachConfig struct {
 	// retrievable via Controller.Series — the observability the paper's
 	// "measurement of existing systems" agenda requires.
 	Record bool
+	// Audit, when non-nil, receives the component's verdict state-machine
+	// decisions (transitions, debounce suppressions, latches) with the
+	// evidence behind each one.
+	Audit *trace.AuditLog
+	// Metrics, when non-nil, registers the component's rate samples as a
+	// labeled "rate" series (label component=<id> plus MetricsLabels)
+	// instead of the private series Record allocates.
+	Metrics       *trace.Registry
+	MetricsLabels []trace.Label
 }
 
 // Controller is the fail-stutter control plane for a set of simulated
@@ -119,10 +128,19 @@ func (c *Controller) Watch(id ComponentID, counter func() float64, cfg AttachCon
 		if exit == 0 {
 			exit = 3
 		}
-		det = detect.NewHysteresis(det, enter, exit)
+		h := detect.NewHysteresis(det, enter, exit)
+		if cfg.Audit != nil {
+			h.EnableAudit(cfg.Audit, id)
+		}
+		det = h
+	} else if cfg.Audit != nil {
+		det = detect.NewAudited(det, cfg.Audit, id)
 	}
 	w := &watch{det: det}
-	if cfg.Record {
+	if cfg.Metrics != nil {
+		labels := append(append([]trace.Label(nil), cfg.MetricsLabels...), trace.L("component", id))
+		w.series = cfg.Metrics.Series("rate", labels...)
+	} else if cfg.Record {
 		w.series = &trace.Series{}
 	}
 	w.probe = detect.NewProbe(c.s, cfg.Interval, counter, func(now, rate float64) {

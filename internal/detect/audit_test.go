@@ -1,0 +1,207 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"failstutter/internal/spec"
+	"failstutter/internal/trace"
+)
+
+func TestHysteresisAuditDebounceAndTransition(t *testing.T) {
+	inner := NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2})
+	h := NewHysteresis(inner, 3, 2)
+	log := trace.NewAuditLog()
+	h.EnableAudit(log, "disk-3")
+
+	// Healthy observations: steady-state agreement records nothing.
+	h.Observe(1, 100)
+	h.Observe(2, 100)
+	if log.Len() != 0 {
+		t.Fatalf("healthy observations recorded %d entries", log.Len())
+	}
+
+	// Two slow observations: suppressed (streak 1/3, 2/3); third fires.
+	h.Observe(3, 10)
+	h.Observe(4, 10)
+	h.Observe(5, 10)
+	recs := log.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (2 debounce + 1 transition)", len(recs))
+	}
+	if recs[0].Kind != trace.AuditDebounce || recs[0].Streak != 1 || recs[0].Need != 3 {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if recs[1].Kind != trace.AuditDebounce || recs[1].Streak != 2 {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+	if recs[2].Kind != trace.AuditTransition || recs[2].From != "nominal" || recs[2].To != "perf-faulty" {
+		t.Fatalf("rec2 = %+v", recs[2])
+	}
+	if recs[2].Detector != "spec" {
+		t.Fatalf("detector = %q", recs[2].Detector)
+	}
+	// Evidence is attached: last observed rate vs spec minimum.
+	ev := recs[2].Evidence
+	if ev.Signal != "rate" || ev.Observed != 10 || ev.Reference != 80 {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	if ev.Margin != 10-80.0 {
+		t.Fatalf("margin = %v", ev.Margin)
+	}
+
+	// Recovery: one nominal suppressed, second flips back.
+	h.Observe(6, 100)
+	h.Observe(7, 100)
+	recs = log.Records()
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	if recs[3].Kind != trace.AuditDebounce || recs[3].From != "perf-faulty" || recs[3].To != "nominal" {
+		t.Fatalf("rec3 = %+v", recs[3])
+	}
+	if recs[4].Kind != trace.AuditTransition || recs[4].To != "nominal" {
+		t.Fatalf("rec4 = %+v", recs[4])
+	}
+}
+
+func TestHysteresisAuditLatch(t *testing.T) {
+	inner := NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2, PromotionTimeout: 5})
+	h := NewHysteresis(inner, 2, 2)
+	log := trace.NewAuditLog()
+	h.EnableAudit(log, "srv-0")
+	h.Observe(0, 100)
+	h.Observe(1, 0)
+	// Silence past the promotion timeout, detected between observations.
+	if got := h.Verdict(10); got != spec.AbsoluteFaulty {
+		t.Fatalf("verdict = %v", got)
+	}
+	recs := log.Records()
+	last := recs[len(recs)-1]
+	if last.Kind != trace.AuditLatch || last.To != "absolute-faulty" {
+		t.Fatalf("latch record = %+v", last)
+	}
+	// Latched: no further records.
+	n := log.Len()
+	h.Observe(11, 100)
+	if log.Len() != n {
+		t.Fatal("latched detector kept recording")
+	}
+}
+
+func TestHysteresisAuditDisabledByDefault(t *testing.T) {
+	inner := NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2})
+	h := NewHysteresis(inner, 1, 1)
+	h.Observe(1, 1) // transitions without a log attached: must not panic
+	if h.Verdict(1) != spec.PerfFaulty {
+		t.Fatal("verdict wrong")
+	}
+}
+
+func TestAuditedRawDetector(t *testing.T) {
+	log := trace.NewAuditLog()
+	a := NewAudited(NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2}), log, "d0")
+	a.Observe(1, 100)
+	a.Observe(2, 50) // nominal -> perf-faulty immediately (no debounce)
+	a.Observe(3, 50) // unchanged: no record
+	a.Observe(4, 100)
+	recs := log.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].To != "perf-faulty" || recs[1].To != "nominal" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].Evidence.Observed != 50 {
+		t.Fatalf("evidence = %+v", recs[0].Evidence)
+	}
+}
+
+func TestAuditedNilLogInert(t *testing.T) {
+	a := NewAudited(NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.2}), nil, "d0")
+	a.Observe(1, 10)
+	if a.Verdict(1) != spec.PerfFaulty {
+		t.Fatal("wrapper changed verdict")
+	}
+}
+
+func TestExplainers(t *testing.T) {
+	// Every detector family yields self-consistent evidence.
+	ew := NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.1, Threshold: 0.7})
+	for i := 0; i < 20; i++ {
+		ew.Observe(float64(i), 100)
+	}
+	ev := ew.Explain()
+	if ev.Signal != "ewma-fast" || ev.RefKind != "self-baseline" || ev.Threshold != 0.7 {
+		t.Fatalf("ewma evidence = %+v", ev)
+	}
+	if math.Abs(ev.Margin-(ev.Observed-0.7*ev.Reference)) > 1e-12 {
+		t.Fatalf("ewma margin inconsistent: %+v", ev)
+	}
+
+	wd := NewWindowDetector(WindowConfig{BaselineSamples: 4, RecentSamples: 4, Threshold: 0.5})
+	for i := 0; i < 10; i++ {
+		wd.Observe(float64(i), 100)
+	}
+	ev = wd.Explain()
+	if ev.Signal != "window-median" || ev.RefKind != "gauged-baseline" || ev.Reference != 100 {
+		t.Fatalf("window evidence = %+v", ev)
+	}
+
+	td := NewTrendDetector(TrendConfig{WindowSamples: 5, DeclineFrac: 0.1})
+	for i := 0; i < 8; i++ {
+		td.Observe(float64(i), 100-10*float64(i))
+	}
+	ev = td.Explain()
+	if ev.Signal != "theil-sen-decline" || ev.Observed <= 0 {
+		t.Fatalf("trend evidence = %+v (expected positive decline)", ev)
+	}
+
+	ps := NewPeerSet(PeerConfig{WindowSamples: 4, Threshold: 0.5, MinPeers: 2})
+	for i := 0; i < 6; i++ {
+		ps.Observe("a", float64(i), 100)
+		ps.Observe("b", float64(i), 10)
+	}
+	det := ps.ComponentDetector("b")
+	ev = EvidenceOf(det)
+	if ev.Signal != "window-median" || ev.RefKind != "peer-median" || ev.Observed != 10 || ev.Reference != 100 {
+		t.Fatalf("peer evidence = %+v", ev)
+	}
+
+	// Hysteresis delegates to its inner detector.
+	h := NewHysteresis(ew, 2, 2)
+	if EvidenceOf(h).Signal != "ewma-fast" {
+		t.Fatal("hysteresis did not delegate evidence")
+	}
+
+	// Unknown detectors yield "no evidence" rather than failing.
+	if EvidenceOf(dummyDetector{}).Signal != "" {
+		t.Fatal("unknown detector produced evidence")
+	}
+}
+
+type dummyDetector struct{}
+
+func (dummyDetector) Observe(now, rate float64)        {}
+func (dummyDetector) Verdict(now float64) spec.Verdict { return spec.Nominal }
+
+func TestDetectorName(t *testing.T) {
+	cases := []struct {
+		d    Detector
+		want string
+	}{
+		{NewSpecDetector(spec.Spec{ExpectedRate: 1}), "spec"},
+		{NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.1, Threshold: 0.7}), "ewma"},
+		{NewWindowDetector(WindowConfig{BaselineSamples: 1, RecentSamples: 1, Threshold: 0.5}), "window"},
+		{NewTrendDetector(TrendConfig{WindowSamples: 4, DeclineFrac: 0.1}), "trend"},
+		{NewPeerSet(PeerConfig{WindowSamples: 2, Threshold: 0.5, MinPeers: 2}).ComponentDetector("x"), "peer"},
+		{NewHysteresis(NewSpecDetector(spec.Spec{ExpectedRate: 1}), 1, 1), "spec"},
+		{NewAudited(NewEWMADetector(EWMAConfig{FastAlpha: 0.5, SlowAlpha: 0.1, Threshold: 0.7}), nil, "x"), "ewma"},
+		{dummyDetector{}, "detector"},
+	}
+	for _, c := range cases {
+		if got := DetectorName(c.d); got != c.want {
+			t.Fatalf("DetectorName(%T) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"failstutter/internal/spec"
+	"failstutter/internal/trace"
 )
 
 // Hysteresis wraps a detector and suppresses transient verdicts: the
@@ -23,6 +24,9 @@ type Hysteresis struct {
 	faultyStreak  int
 	nominalStreak int
 	reported      spec.Verdict
+
+	log       *trace.AuditLog
+	component string
 }
 
 // NewHysteresis wraps inner with the given streak requirements.
@@ -38,6 +42,30 @@ func NewHysteresis(inner Detector, enterAfter, exitAfter int) *Hysteresis {
 	}
 }
 
+// EnableAudit logs every state-machine decision for the named component
+// to log: real transitions, latched absolute faults, and suppressed
+// (debounced) steps where the instantaneous verdict disagreed with the
+// reported one but the streak had not yet run out. Steady-state agreement
+// records nothing, keeping logs proportional to interesting activity.
+func (h *Hysteresis) EnableAudit(log *trace.AuditLog, component string) {
+	h.log = log
+	h.component = component
+}
+
+// audit appends one record if auditing is enabled.
+func (h *Hysteresis) audit(now float64, kind string, from, to spec.Verdict, streak, need int) {
+	if h.log == nil {
+		return
+	}
+	h.log.Add(trace.AuditRecord{
+		Time: now, Component: h.component,
+		Detector: DetectorName(h.inner), Kind: kind,
+		From: from.String(), To: to.String(),
+		Streak: streak, Need: need,
+		Evidence: EvidenceOf(h.inner),
+	})
+}
+
 // Observe implements Detector: it forwards the observation and advances
 // the streak state machine using the inner detector's instantaneous
 // verdict.
@@ -48,18 +76,29 @@ func (h *Hysteresis) Observe(now, rate float64) {
 	}
 	switch h.inner.Verdict(now) {
 	case spec.AbsoluteFaulty:
+		h.audit(now, trace.AuditLatch, h.reported, spec.AbsoluteFaulty, 0, 0)
 		h.reported = spec.AbsoluteFaulty
 	case spec.PerfFaulty:
 		h.faultyStreak++
 		h.nominalStreak = 0
-		if h.reported == spec.Nominal && h.faultyStreak >= h.enterAfter {
-			h.reported = spec.PerfFaulty
+		if h.reported == spec.Nominal {
+			if h.faultyStreak >= h.enterAfter {
+				h.audit(now, trace.AuditTransition, spec.Nominal, spec.PerfFaulty, h.faultyStreak, h.enterAfter)
+				h.reported = spec.PerfFaulty
+			} else {
+				h.audit(now, trace.AuditDebounce, spec.Nominal, spec.PerfFaulty, h.faultyStreak, h.enterAfter)
+			}
 		}
 	case spec.Nominal:
 		h.nominalStreak++
 		h.faultyStreak = 0
-		if h.reported == spec.PerfFaulty && h.nominalStreak >= h.exitAfter {
-			h.reported = spec.Nominal
+		if h.reported == spec.PerfFaulty {
+			if h.nominalStreak >= h.exitAfter {
+				h.audit(now, trace.AuditTransition, spec.PerfFaulty, spec.Nominal, h.nominalStreak, h.exitAfter)
+				h.reported = spec.Nominal
+			} else {
+				h.audit(now, trace.AuditDebounce, spec.PerfFaulty, spec.Nominal, h.nominalStreak, h.exitAfter)
+			}
 		}
 	}
 }
@@ -71,6 +110,7 @@ func (h *Hysteresis) Verdict(now float64) spec.Verdict {
 	}
 	// Promotion can also arrive between observations (pure silence).
 	if h.inner.Verdict(now) == spec.AbsoluteFaulty {
+		h.audit(now, trace.AuditLatch, h.reported, spec.AbsoluteFaulty, 0, 0)
 		h.reported = spec.AbsoluteFaulty
 	}
 	return h.reported

@@ -15,6 +15,7 @@ import (
 
 	"failstutter/internal/faults"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // Zone describes one radial zone of a disk: a fraction of the capacity
@@ -87,6 +88,9 @@ type Disk struct {
 	reads     uint64
 	writes    uint64
 	onFail    []func()
+
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // SetMultiplier forwards a fault factor to the underlying station; Disk
@@ -149,6 +153,18 @@ func (d *Disk) Composite() *faults.Composite { return d.comp }
 
 // Name returns the disk's label.
 func (d *Disk) Name() string { return d.params.Name }
+
+// SetTracer attaches a span tracer. The disk's access spans and its
+// station's queue/service spans share one track (the disk name), so a
+// disk-level "write" visually contains the station-level "service" slice
+// beneath it in the exported trace.
+func (d *Disk) SetTracer(t *trace.Tracer) {
+	d.tracer = t
+	if t != nil {
+		d.track = t.Track(d.params.Name)
+	}
+	d.station.SetTracer(t)
+}
 
 // Failed reports whether the disk has absolutely failed.
 func (d *Disk) Failed() bool { return d.station.Failed() }
@@ -253,19 +269,39 @@ func (d *Disk) serviceTime(block int64, blocks int64) float64 {
 // completes. isWrite only affects accounting; the timing model is
 // symmetric.
 func (d *Disk) Access(block, blocks int64, isWrite bool, onDone func(latency float64)) {
+	d.AccessSpan(0, block, blocks, isWrite, onDone)
+}
+
+// AccessSpan is Access with a caller-level parent span: the disk records
+// an operation span (named "read" or "write", tagged with the block
+// number) parented to the caller's span, and the station's queue/service
+// spans parent to the operation span in turn.
+func (d *Disk) AccessSpan(parent trace.SpanID, block, blocks int64, isWrite bool, onDone func(latency float64)) {
 	size := d.serviceTime(block, blocks)
 	bytes := float64(blocks) * d.params.BlockBytes
-	d.station.SubmitFunc(size, func(r *sim.Request) {
+	var span trace.SpanID
+	if d.tracer != nil {
+		name := "read"
+		if isWrite {
+			name = "write"
+		}
+		span = d.tracer.BeginArg(d.track, name, "disk", parent, d.s.Now(), block)
+	}
+	r := &sim.Request{Size: size, ParentSpan: span, OnDone: func(r *sim.Request) {
 		d.bytesDone += bytes
 		if isWrite {
 			d.writes++
 		} else {
 			d.reads++
 		}
+		if d.tracer != nil {
+			d.tracer.End(span, d.s.Now())
+		}
 		if onDone != nil {
 			onDone(r.Latency())
 		}
-	})
+	}}
+	d.station.Submit(r)
 }
 
 // Read submits a read request.

@@ -151,12 +151,17 @@ func runE23(cfg Config) *Table {
 	t := NewTable("E23", "Slow-down failures: reissue and reconcile",
 		"reissue bounds the tail; reconciliation bounds wasted work",
 		"scheduler", "makespan", "wasted units", "duplicate launches")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	for _, sched := range []cluster.Scheduler{
 		cluster.WorkQueue{},
 		cluster.Hedged{MaxClones: 1},
 		cluster.Reissue{TimeoutFactor: 3, MaxClones: 1},
 	} {
 		p := cluster.NewPool(4, clusterQuantum)
+		if tel != nil {
+			p.SetTracer(tel.Tracer)
+		}
 		// Worker 0 suffers a severe slow-down failure shortly into the job.
 		timer := time.AfterFunc(10*time.Millisecond, func() { p.Workers()[0].SetSpeed(0.02) })
 		r := sched.Run(p, cluster.UniformTasks(nTasks, units))

@@ -56,13 +56,23 @@ func runE05(cfg Config) *Table {
 	t := NewTable("E05", "Bad-block remapping",
 		"5.5 MB/s healthy vs 5.0 MB/s with 3x block faults",
 		"remapped blocks", "sequential read", "deficit")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	var healthyBW float64
 	for i, remapFrac := range []float64{0, 0.004, 0.012, 0.04} {
 		p := device.HawkParams(fmt.Sprintf("hawk-%d", i))
 		p.RemappedBlocks = int64(remapFrac * float64(p.CapacityBlocks))
 		p.RemapSeed = cfg.Seed + uint64(i)
-		d := device.MustDisk(sim.New(), p)
+		s := sim.New()
+		d := device.MustDisk(s, p)
+		if tel != nil {
+			d.SetTracer(tel.Tracer)
+		}
 		bw := d.SequentialReadBandwidth(0, blocks)
+		if tel != nil {
+			tel.Metrics.Series("seq-read-bw", trace.L("disk", p.Name)).Add(0, bw)
+			tel.endRun(s)
+		}
 		if i == 0 {
 			healthyBW = bw
 		}
@@ -161,18 +171,25 @@ func runE07(cfg Config) *Table {
 	t := NewTable("E07", "Thermal recalibration vs streaming deadlines",
 		"random short off-line periods break unbuffered streams; buffering rides them out",
 		"client buffer", "recal 0.5 s", "recal 1.5 s", "recal 3.0 s")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	seconds := scale(cfg, 300, 3600)
 	for _, buffer := range []float64{0.5, 1, 2, 4} {
 		row := []string{fmt.Sprintf("%.1f s", buffer)}
 		for _, recal := range []float64{0.5, 1.5, 3.0} {
 			s := sim.New()
 			d := flatDisk(s, "video", 5.5e6)
+			if tel != nil {
+				d.SetTracer(tel.Tracer)
+			}
 			faults.PeriodicStall{
 				Period: 30, Duration: recal, Jitter: 5,
 				RNG:   sim.NewRNG(cfg.Seed).Fork(fmt.Sprintf("recal-%v-%v", buffer, recal)),
 				Until: float64(seconds) + 10,
 			}.Install(s, d.Composite())
-			meter := trace.NewAvailabilityMeter(buffer)
+			meter := tel.meter("stream-deadline", buffer,
+				trace.L("buffer", fmt.Sprintf("%.1fs", buffer)),
+				trace.L("recal", fmt.Sprintf("%.1fs", recal)))
 			// A 2 MB/s stream in 0.5 MB requests every 0.25 s.
 			n := int(float64(seconds) / 0.25)
 			for i := 0; i < n; i++ {
@@ -184,6 +201,7 @@ func runE07(cfg Config) *Table {
 				})
 			}
 			s.Run()
+			tel.endRun(s)
 			miss := 1 - meter.Availability()
 			row = append(row, fmt.Sprintf("%.2f%% missed", miss*100))
 			t.SetMetric(fmt.Sprintf("miss_b%v_r%v", buffer, recal), miss)
@@ -217,11 +235,21 @@ func runE08(cfg Config) *Table {
 	}{
 		{"outer", 0.0}, {"middle", 0.45}, {"inner", 0.75},
 	}
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	var outer, inner float64
 	for _, pos := range positions {
-		d := device.MustDisk(sim.New(), p)
+		s := sim.New()
+		d := device.MustDisk(s, p)
+		if tel != nil {
+			d.SetTracer(tel.Tracer)
+		}
 		start := int64(pos.frac * float64(p.CapacityBlocks))
 		bw := d.SequentialReadBandwidth(start, int64(blocks))
+		if tel != nil {
+			tel.Metrics.Series("seq-read-bw", trace.L("zone", pos.name)).Add(0, bw)
+			tel.endRun(s)
+		}
 		t.AddRow(pos.name, fmt.Sprintf("%.0f%% of capacity", pos.frac*100), mb(bw))
 		t.SetMetric("bw_"+pos.name, bw)
 		if pos.name == "outer" {
@@ -241,13 +269,23 @@ func runE13(cfg Config) *Table {
 	t := NewTable("E13", "Aged file-system layout",
 		"aged layouts vary up to 2x; fresh layouts are identical",
 		"drive", "layout", "sequential read")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	agings := []float64{1.0, 0.85, 0.65, 0.5}
 	var fresh, worst float64
 	for i, ag := range agings {
 		p := device.HawkParams(fmt.Sprintf("aged-%d", i))
 		p.AgingFactor = ag
-		d := device.MustDisk(sim.New(), p)
+		s := sim.New()
+		d := device.MustDisk(s, p)
+		if tel != nil {
+			d.SetTracer(tel.Tracer)
+		}
 		bw := d.SequentialReadBandwidth(0, blocks)
+		if tel != nil {
+			tel.Metrics.Series("seq-read-bw", trace.L("disk", p.Name)).Add(0, bw)
+			tel.endRun(s)
+		}
 		label := "aged"
 		if ag == 1 {
 			label = "fresh"

@@ -80,6 +80,8 @@ func runE18(cfg Config) *Table {
 	t := NewTable("E18", "Promotion threshold T",
 		"stalls shorter than T remain performance faults; longer stalls promote to absolute",
 		"stall length", "T=5s", "T=15s", "T=40s")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	stalls := []float64{2, 10, 30, math.Inf(1)} // Inf = never recovers
 	thresholds := []float64{5, 15, 40}
 	for _, stall := range stalls {
@@ -96,9 +98,9 @@ func runE18(cfg Config) *Table {
 			if !math.IsInf(stall, 1) {
 				s.At(30+stall, func() { st.SetMultiplier(1) })
 			}
-			det := detect.NewSpecDetector(spec.Spec{
+			det := tel.auditDetector(detect.NewSpecDetector(spec.Spec{
 				ExpectedRate: 100, Tolerance: 0.3, PromotionTimeout: T,
-			})
+			}), fmt.Sprintf("d0/stall=%v,T=%v", stall, T))
 			promoted := false
 			detect.NewProbe(s, 1, counter, func(now, rate float64) {
 				det.Observe(now, rate)
@@ -130,17 +132,26 @@ func runE19(cfg Config) *Table {
 	t := NewTable("E19", "Notification policy",
 		"publishing every blip floods the system; persistent-only stays quiet",
 		"blip period", "notify-every msgs", "notify-persistent msgs")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	for _, period := range []float64{4, 8, 16, 32} {
 		counts := make(map[core.NotifyPolicy]uint64)
 		for _, policy := range []core.NotifyPolicy{core.NotifyEvery, core.NotifyPersistent} {
 			s := sim.New()
 			ctl := core.NewController(s)
 			st, counter := saturated(s, "d0", 100)
-			ctl.Watch("d0", counter, core.AttachConfig{
+			id := fmt.Sprintf("d0/period=%.0f,policy=%s", period, policy)
+			cfg19 := core.AttachConfig{
 				Interval: 1,
 				Detector: detect.NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.3}),
 				Policy:   policy,
-			})
+			}
+			if tel != nil {
+				cfg19.Audit = tel.Audit
+				cfg19.Metrics = tel.Metrics
+				cfg19.MetricsLabels = []trace.Label{trace.L("experiment", "E19")}
+			}
+			ctl.Watch(id, counter, cfg19)
 			// One bad sample every `period` seconds: transient blips.
 			faults.PeriodicStall{Period: period, Duration: 1, Factor: 0.1, Until: horizon}.
 				Install(s, faults.NewComposite(st))
@@ -157,11 +168,17 @@ func runE19(cfg Config) *Table {
 	s := sim.New()
 	ctl := core.NewController(s)
 	st, counter := saturated(s, "d0", 100)
-	ctl.Watch("d0", counter, core.AttachConfig{
+	cfg19 := core.AttachConfig{
 		Interval: 1,
 		Detector: detect.NewSpecDetector(spec.Spec{ExpectedRate: 100, Tolerance: 0.3}),
 		Policy:   core.NotifyPersistent,
-	})
+	}
+	if tel != nil {
+		cfg19.Audit = tel.Audit
+		cfg19.Metrics = tel.Metrics
+		cfg19.MetricsLabels = []trace.Label{trace.L("experiment", "E19")}
+	}
+	ctl.Watch("d0/persistent-onset", counter, cfg19)
 	s.At(50, func() { st.SetMultiplier(0.2) })
 	var publishedAt float64 = -1
 	ctl.Registry().Subscribe(func(e detect.Event) {
@@ -188,11 +205,16 @@ func runE20(cfg Config) *Table {
 	t := NewTable("E20", "Availability (Gray & Reuter)",
 		"fraction of offered load with acceptable response time, one server stuttering",
 		"dispatch design", "availability", "p99 response")
-	run := func(policy dispatchPolicy) (float64, float64) {
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+	run := func(policy dispatchPolicy, name string) (float64, float64) {
 		s := sim.New()
 		servers := make([]*sim.Station, 4)
 		for i := range servers {
 			servers[i] = sim.NewStation(s, fmt.Sprintf("srv-%d", i), 100)
+			if tel != nil {
+				servers[i].SetTracer(tel.Tracer)
+			}
 		}
 		// Server 0 degrades to 10% for the middle half of the run.
 		startT := float64(count) * 0.01 * 0.25
@@ -200,7 +222,7 @@ func runE20(cfg Config) *Table {
 		s.At(startT, func() { servers[0].SetMultiplier(0.1) })
 		s.At(endT, func() { servers[0].SetMultiplier(1) })
 
-		meter := trace.NewAvailabilityMeter(0.5)
+		meter := tel.meter("dispatch", 0.5, trace.L("policy", name))
 		next := 0
 		for i := 0; i < count; i++ {
 			at := float64(i) * 0.01 // 100 req/s offered over 4 servers
@@ -234,10 +256,11 @@ func runE20(cfg Config) *Table {
 			})
 		}
 		s.Run()
+		tel.endRun(s)
 		return meter.Availability(), meter.Latency().Quantile(0.99)
 	}
-	availRR, p99RR := run(roundRobin)
-	availLQ, p99LQ := run(leastQueue)
+	availRR, p99RR := run(roundRobin, "round-robin")
+	availLQ, p99LQ := run(leastQueue, "least-queue")
 	t.AddRow("round-robin (fail-stop design)", fmt.Sprintf("%.1f%%", availRR*100), fmt.Sprintf("%.2f s", p99RR))
 	t.AddRow("least-queue (fail-stutter design)", fmt.Sprintf("%.1f%%", availLQ*100), fmt.Sprintf("%.2f s", p99LQ))
 	t.SetMetric("availability_failstop", availRR)
@@ -250,6 +273,8 @@ func runE22(cfg Config) *Table {
 	t := NewTable("E22", "Failure prediction from stutter",
 		"performance decline precedes death; detection yields replacement lead time",
 		"drift duration", "detector", "flagged", "crash at", "lead time")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	detectors := []struct {
 		name string
 		mk   func() detect.Detector
@@ -273,7 +298,7 @@ func runE22(cfg Config) *Table {
 			crashAt := 50 + driftLen
 			faults.LinearDrift{Start: 50, End: crashAt, From: 1, To: 0.25, Steps: 40}.Install(s, comp)
 			faults.CrashAt{At: crashAt}.Install(s, comp)
-			det := dd.mk()
+			det := tel.auditDetector(dd.mk(), fmt.Sprintf("dying/%s,drift=%.0fs", dd.name, driftLen))
 			flaggedAt := -1.0
 			detect.NewProbe(s, 1, counter, func(now, rate float64) {
 				det.Observe(now, rate)
@@ -301,9 +326,9 @@ func runE22(cfg Config) *Table {
 		Interval: 2, Sigma: 0.03, Min: 0.9, Max: 1.0,
 		RNG: sim.NewRNG(cfg.Seed).Fork("e22"), Until: 300,
 	}.Install(s, faults.NewComposite(st))
-	det := detect.NewHysteresis(detect.NewEWMADetector(detect.EWMAConfig{
+	det := tel.auditDetector(detect.NewHysteresis(detect.NewEWMADetector(detect.EWMAConfig{
 		FastAlpha: 0.4, SlowAlpha: 0.02, Threshold: 0.75,
-	}), 3, 3)
+	}), 3, 3), "healthy/control")
 	false1 := 0
 	detect.NewProbe(s, 1, counter, func(now, rate float64) {
 		det.Observe(now, rate)
@@ -344,6 +369,8 @@ func runA1(cfg Config) *Table {
 	t := NewTable("A1", "Detector ablation",
 		"reactive detectors catch faults sooner but fire on noise",
 		"detector", "detection lag (samples)", "false positives / 400 healthy")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	rng := sim.NewRNG(cfg.Seed).Fork("a1")
 	type entry struct {
 		name string
@@ -373,8 +400,8 @@ func runA1(cfg Config) *Table {
 		}},
 	}
 	for _, e := range entries {
-		lag, _ := syntheticTrace(e.mk(), rng.Fork(e.name+"-fault"), 400, 100, 0.4)
-		_, falsePos := syntheticTrace(e.mk(), rng.Fork(e.name+"-healthy"), 400, 0, 1)
+		lag, _ := syntheticTrace(tel.auditDetector(e.mk(), e.name+"/fault"), rng.Fork(e.name+"-fault"), 400, 100, 0.4)
+		_, falsePos := syntheticTrace(tel.auditDetector(e.mk(), e.name+"/healthy"), rng.Fork(e.name+"-healthy"), 400, 0, 1)
 		lagStr := fmt.Sprintf("%d", lag)
 		if lag < 0 {
 			lagStr = "missed"

@@ -5,6 +5,7 @@ import (
 
 	"failstutter/internal/river"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 func init() {
@@ -32,6 +33,8 @@ func runE25(cfg Config) *Table {
 		"back-pressure balancing approaches available bandwidth; static routing tracks the slow consumer",
 		"routing policy", "one consumer at 10%", "throughput vs ideal")
 	// Ideal with one of four consumers at 10%: 3.1 consumer-equivalents.
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	const consumers, rate = 4, 100.0
 	available := float64(records) / (3.1 * rate)
 	for _, policy := range []river.Policy{river.RoundRobin, river.RandomChoice, river.CreditBased} {
@@ -40,10 +43,17 @@ func runE25(cfg Config) *Table {
 			Consumers: consumers, ConsumerRate: rate, QueueCap: 4,
 			Policy: policy, RNG: sim.NewRNG(cfg.Seed).Fork("e25"),
 		})
+		if tel != nil {
+			dq.SetTracer(tel.Tracer)
+		}
 		dq.ConsumerComposite(0).Set("slow", 0.1)
 		makespan := 0.0
 		dq.Produce(records, func(m sim.Duration) { makespan = m; s.Stop() })
 		s.Run()
+		if tel != nil {
+			tel.Metrics.Series("dq-makespan", trace.L("policy", policy.String())).Add(0, makespan)
+			tel.endRun(s)
+		}
 		frac := available / makespan
 		t.AddRow(policy.String(),
 			fmt.Sprintf("%.1f s", makespan),
@@ -60,6 +70,8 @@ func runE26(cfg Config) *Table {
 	t := NewTable("E26", "Graduated declustering",
 		"one slow disk halves the static design's read; graduated spreads the deficit over all mirrors",
 		"slow-disk speed", "static makespan", "graduated makespan", "graduated vs fluid ideal")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	const partitions = 8
 	run := func(graduated bool, factor float64) (float64, *river.GD) {
 		s := sim.New()
@@ -67,12 +79,24 @@ func runE26(cfg Config) *Table {
 			Partitions: partitions, PartitionRecords: perPartition,
 			DiskRate: 100, Graduated: graduated, Window: 2,
 		})
+		if tel != nil {
+			g.SetTracer(tel.Tracer)
+		}
 		if factor < 1 {
 			g.DiskComposite(0).Set("slow", factor)
 		}
 		makespan := 0.0
 		g.Run(func(m sim.Duration, _ []sim.Duration) { makespan = m; s.Stop() })
 		s.Run()
+		if tel != nil {
+			mode := "static"
+			if graduated {
+				mode = "graduated"
+			}
+			tel.Metrics.Series("gd-makespan",
+				trace.L("mode", mode), trace.L("factor", fmt.Sprintf("%.2f", factor))).Add(0, makespan)
+			tel.endRun(s)
+		}
 		return makespan, g
 	}
 	for _, factor := range []float64{1, 0.5, 0.25, 0.1} {

@@ -79,7 +79,9 @@ func runE01(cfg Config) *Table {
 	t := NewTable("E01", "Scenario 1: fail-stop design tracks the slow pair",
 		"throughput = N*b when one pair runs at b",
 		"design", "measured", "paper-predicted")
-	res := runStriper(scenarioRates(), blocks, raid.StaticEqual{}, nil)
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+	res := runStriperT(tel, "static-equal", scenarioRates(), blocks, raid.StaticEqual{}, nil)
 	predicted := float64(scenarioPairs) * scenarioSmall
 	t.AddRow("static-equal (fail-stop)", mb(res.Throughput), mb(predicted))
 	t.SetMetric("throughput", res.Throughput)
@@ -95,8 +97,11 @@ func runE02(cfg Config) *Table {
 		"throughput = (N-1)*B + b under static faults; drift reverts to tracking the slow disk",
 		"condition", "design", "measured", "paper-predicted")
 
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+
 	// Static fault: gauging sees the slow pair and compensates.
-	res := runStriper(scenarioRates(), blocks, raid.GaugedProportional{ProbeBlocks: 32}, nil)
+	res := runStriperT(tel, "gauged-static", scenarioRates(), blocks, raid.GaugedProportional{ProbeBlocks: 32}, nil)
 	predicted := float64(scenarioPairs-1)*scenarioB + scenarioSmall
 	t.AddRow("static slow pair", "gauged-proportional", mb(res.Throughput), mb(predicted))
 	t.SetMetric("throughput_static", res.Throughput)
@@ -115,7 +120,7 @@ func runE02(cfg Config) *Table {
 		faults.StepAt{At: 2, Factor: scenarioSmall / scenarioB}.
 			Install(s, a.Pairs()[0].A.Composite())
 	}
-	resDrift := runStriper(healthy, blocks, raid.GaugedProportional{ProbeBlocks: 32}, drift)
+	resDrift := runStriperT(tel, "gauged-drift", healthy, blocks, raid.GaugedProportional{ProbeBlocks: 32}, drift)
 	t.AddRow("drift after gauge", "gauged-proportional", mb(resDrift.Throughput), "between N*b and (N-1)B+b")
 	t.SetMetric("throughput_drift", resDrift.Throughput)
 	return t
@@ -127,8 +132,11 @@ func runE03(cfg Config) *Table {
 		"full available bandwidth under static and dynamic faults",
 		"condition", "design", "measured", "available bandwidth")
 
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+
 	available := float64(scenarioPairs-1)*scenarioB + scenarioSmall
-	res := runStriper(scenarioRates(), blocks, raid.AdaptivePull{Depth: 2}, nil)
+	res := runStriperT(tel, "adaptive-static", scenarioRates(), blocks, raid.AdaptivePull{Depth: 2}, nil)
 	t.AddRow("static slow pair", "adaptive-pull", mb(res.Throughput), mb(available))
 	t.SetMetric("throughput_static", res.Throughput)
 	t.SetMetric("available_static", available)
@@ -145,9 +153,9 @@ func runE03(cfg Config) *Table {
 	}
 	// Average available bandwidth: pair 0 delivers 0.25 + 0.75*0.05 of B.
 	availDyn := float64(scenarioPairs-1)*scenarioB + 0.2875*scenarioB
-	resStatic := runStriper(healthy, blocks, raid.StaticEqual{}, oscillate)
-	resAdapt := runStriper(healthy, blocks, raid.AdaptivePull{Depth: 2}, oscillate)
-	resWave := runStriper(healthy, blocks, raid.AdaptiveWave{Interval: 0.25, WaveBlocks: 400}, oscillate)
+	resStatic := runStriperT(tel, "static-oscillating", healthy, blocks, raid.StaticEqual{}, oscillate)
+	resAdapt := runStriperT(tel, "adaptive-oscillating", healthy, blocks, raid.AdaptivePull{Depth: 2}, oscillate)
+	resWave := runStriperT(tel, "wave-oscillating", healthy, blocks, raid.AdaptiveWave{Interval: 0.25, WaveBlocks: 400}, oscillate)
 	t.AddRow("oscillating pair", "static-equal", mb(resStatic.Throughput), mb(availDyn))
 	t.AddRow("oscillating pair", "adaptive-pull", mb(resAdapt.Throughput), mb(availDyn))
 	t.AddRow("oscillating pair", "adaptive-wave", mb(resWave.Throughput), mb(availDyn))
@@ -164,9 +172,11 @@ func runE04(cfg Config) *Table {
 	t := NewTable("E04", "Striping tracks the slowest disk",
 		"array throughput is proportional to the slowest member's rate",
 		"slow-disk deficit", "array throughput", "slowest-disk prediction")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	for _, deficit := range []float64{0, 0.1, 0.25, 0.5, 0.75} {
 		rates := []float64{scenarioB, scenarioB, scenarioB, scenarioB * (1 - deficit)}
-		res := runStriper(rates, blocks, raid.StaticEqual{}, nil)
+		res := runStriperT(tel, fmt.Sprintf("deficit-%.0f%%", deficit*100), rates, blocks, raid.StaticEqual{}, nil)
 		predicted := 4 * scenarioB * (1 - deficit)
 		t.AddRow(fmt.Sprintf("%.0f%%", deficit*100), mb(res.Throughput), mb(predicted))
 		t.SetMetric(fmt.Sprintf("throughput_%.0f", deficit*100), res.Throughput)
@@ -181,10 +191,12 @@ func runE21(cfg Config) *Table {
 		"a fail-stutter design uses heterogeneous old+new parts at their actual rates",
 		"design", "measured", "ideal")
 	// Two old pairs at 0.5 MB/s, two newer pairs at 2 MB/s.
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	rates := []float64{0.5e6, 0.5e6, 2e6, 2e6}
 	ideal := 5e6
-	static := runStriper(rates, blocks, raid.StaticEqual{}, nil)
-	adaptive := runStriper(rates, blocks, raid.AdaptivePull{Depth: 2}, nil)
+	static := runStriperT(tel, "static-equal", rates, blocks, raid.StaticEqual{}, nil)
+	adaptive := runStriperT(tel, "adaptive-pull", rates, blocks, raid.AdaptivePull{Depth: 2}, nil)
 	t.AddRow("static-equal (fail-stop)", mb(static.Throughput), mb(ideal))
 	t.AddRow("adaptive-pull (fail-stutter)", mb(adaptive.Throughput), mb(ideal))
 	t.SetMetric("throughput_static", static.Throughput)
@@ -207,8 +219,10 @@ func runA2(cfg Config) *Table {
 	for i := range healthy {
 		healthy[i] = scenarioB
 	}
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	for _, interval := range []float64{0.1, 0.25, 0.5, 1, 2, 4} {
-		res := runStriper(healthy, blocks, raid.AdaptiveWave{Interval: interval, WaveBlocks: 400}, oscillate)
+		res := runStriperT(tel, fmt.Sprintf("wave-%.2gs", interval), healthy, blocks, raid.AdaptiveWave{Interval: interval, WaveBlocks: 400}, oscillate)
 		t.AddRow(fmt.Sprintf("%.2g s", interval), mb(res.Throughput),
 			fmt.Sprintf("%d", res.Bookkeeping), fmt.Sprintf("%d", res.Reissued))
 		t.SetMetric(fmt.Sprintf("throughput_%.2g", interval), res.Throughput)

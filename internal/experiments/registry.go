@@ -14,6 +14,18 @@ type Config struct {
 	// suite runs in seconds — used by tests and benches. Full runs (the
 	// CLI default) use the paper-scale parameters.
 	Quick bool
+	// Trace records causal spans for each experiment's simulations,
+	// exportable as Chrome trace-event JSON via Table.Telemetry.
+	Trace bool
+	// Audit records every verdict state-machine decision with evidence.
+	Audit bool
+	// Metrics records labeled counters/histograms/series in a registry.
+	Metrics bool
+}
+
+// Observability reports whether any telemetry flag is set.
+func (cfg Config) Observability() bool {
+	return cfg.Trace || cfg.Audit || cfg.Metrics
 }
 
 // Experiment is one registered reproduction.

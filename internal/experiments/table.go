@@ -25,6 +25,11 @@ type Table struct {
 	Rows       [][]string
 	Notes      []string
 	metrics    map[string]float64
+	// Telemetry carries the experiment's observability artifacts (spans,
+	// audit trail, metrics registry) when the run was configured with any
+	// of the Config telemetry flags; nil otherwise. It never affects the
+	// formatted table.
+	Telemetry *Telemetry
 }
 
 // NewTable builds an empty table with the given identity and columns.

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden telemetry artifacts under testdata/.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// observed is the quick test config with every telemetry flag on.
+var observed = Config{Seed: 42, Quick: true, Trace: true, Audit: true, Metrics: true}
+
+func runObserved(t *testing.T, id string) *Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := e.Run(observed)
+	if tbl.Telemetry == nil {
+		t.Fatalf("experiment %s ran with telemetry flags but Table.Telemetry is nil", id)
+	}
+	return tbl
+}
+
+// artifacts serializes every telemetry artifact of a table into one byte
+// stream, for byte-level comparisons.
+func artifacts(t *testing.T, tbl *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := tbl.Telemetry
+	if err := tel.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Audit.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Metrics.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryOffByDefault checks the zero-cost default: without flags no
+// Telemetry is attached, and enabling every flag leaves the formatted table
+// byte-identical — observability must never perturb results.
+func TestTelemetryOffByDefault(t *testing.T) {
+	for _, id := range []string{"E01", "E03", "E05", "E22"} {
+		plain := runByID(t, id)
+		if plain.Telemetry != nil {
+			t.Fatalf("%s: telemetry attached with all flags off", id)
+		}
+		traced := runObserved(t, id)
+		if plain.Format() != traced.Format() {
+			t.Fatalf("%s: telemetry flags changed the formatted table", id)
+		}
+	}
+}
+
+// TestTelemetryDeterministic runs telemetry-heavy experiments twice at the
+// same seed and requires byte-identical artifacts: traces, audit trails,
+// and metric dumps are part of the reproducibility contract.
+func TestTelemetryDeterministic(t *testing.T) {
+	for _, id := range []string{"E03", "E05", "E20", "E22"} {
+		a := artifacts(t, runObserved(t, id))
+		b := artifacts(t, runObserved(t, id))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: telemetry artifacts differ between identical runs", id)
+		}
+	}
+}
+
+// TestTelemetryArtifactsPopulated spot-checks that the wiring reaches each
+// artifact type: spans from the RAID pipeline, audit records from the
+// detection experiments, metrics from the adaptive-striping runs.
+func TestTelemetryArtifactsPopulated(t *testing.T) {
+	if tel := runObserved(t, "E05").Telemetry; tel.Tracer.Len() == 0 {
+		t.Error("E05: no spans recorded")
+	}
+	if tel := runObserved(t, "E22").Telemetry; tel.Audit.Len() == 0 {
+		t.Error("E22: no audit records")
+	}
+	if tel := runObserved(t, "E01").Telemetry; tel.Metrics.Len() == 0 {
+		t.Error("E01: no metrics registered")
+	}
+}
+
+// TestTelemetryGolden pins the E05 Chrome trace at seed 42 byte-for-byte.
+// A change here means the exported timeline moved: verify it in Perfetto,
+// then refresh with `go test ./internal/experiments/ -run Golden -update`.
+func TestTelemetryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runObserved(t, "E05").Telemetry.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "E05.trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("E05 Chrome trace diverged from %s (len %d vs %d); "+
+			"inspect in Perfetto and refresh with -update if intended",
+			path, buf.Len(), len(want))
+	}
+}

@@ -8,9 +8,11 @@ package raid
 
 import (
 	"fmt"
+	"sort"
 
 	"failstutter/internal/device"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // MirrorPair is a RAID-1 pair of disks. Writes go to every live member
@@ -27,6 +29,10 @@ type MirrorPair struct {
 	done        uint64
 	lost        uint64
 	outstanding map[*writeOp]struct{}
+	opSeq       uint64
+
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // writeOp tracks one logical mirrored write until it is durable on every
@@ -37,6 +43,11 @@ type writeOp struct {
 	finished  bool
 	onDone    func()
 	onFail    func()
+	// seq is the issue order within the pair; diskFailed resolves affected
+	// ops in seq order so callback ordering (and with it span creation
+	// order) never depends on map iteration order.
+	seq  uint64
+	span trace.SpanID
 }
 
 // NewMirrorPair builds a pair over two disks and wires failure
@@ -50,13 +61,32 @@ func NewMirrorPair(s *sim.Simulator, id int, a, b *device.Disk) *MirrorPair {
 	return p
 }
 
-// diskFailed drops the dead disk from every outstanding write.
+// SetTracer attaches a span tracer: the pair records mirrored-write and
+// mirrored-read spans on a "pair-<ID>" track, and both member disks are
+// wired too.
+func (p *MirrorPair) SetTracer(t *trace.Tracer) {
+	p.tracer = t
+	if t != nil {
+		p.track = t.Track(fmt.Sprintf("pair-%d", p.ID))
+	}
+	p.A.SetTracer(t)
+	p.B.SetTracer(t)
+}
+
+// diskFailed drops the dead disk from every outstanding write. Affected
+// ops are resolved in issue order, not map order: resolve fires onFail
+// callbacks that reissue work, so the order must be deterministic.
 func (p *MirrorPair) diskFailed(d *device.Disk) {
+	var affected []*writeOp
 	for op := range p.outstanding {
 		if op.pending[d] {
-			delete(op.pending, d)
-			p.resolve(op)
+			affected = append(affected, op)
 		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	for _, op := range affected {
+		delete(op.pending, d)
+		p.resolve(op)
 	}
 }
 
@@ -67,6 +97,9 @@ func (p *MirrorPair) resolve(op *writeOp) {
 	}
 	op.finished = true
 	delete(p.outstanding, op)
+	if p.tracer != nil {
+		p.tracer.End(op.span, p.s.Now())
+	}
 	if op.completed > 0 {
 		p.done++
 		if op.onDone != nil {
@@ -112,9 +145,19 @@ func (p *MirrorPair) live() []*device.Disk {
 // a fully failed pair invokes onFail immediately (after the current
 // event, to keep callback ordering sane).
 func (p *MirrorPair) WriteBlock(onDone func(), onFail func()) {
+	p.WriteBlockSpan(0, onDone, onFail)
+}
+
+// WriteBlockSpan is WriteBlock with a caller-level parent span (a striper
+// job). The pair records a "mirrored-write" span covering issue to
+// durability, and each member disk's write span parents to it.
+func (p *MirrorPair) WriteBlockSpan(parent trace.SpanID, onDone func(), onFail func()) {
 	targets := p.live()
 	if len(targets) == 0 {
 		p.lost++
+		if p.tracer != nil {
+			p.tracer.Instant(p.track, "write-to-dead-pair", "raid", p.s.Now())
+		}
 		if onFail != nil {
 			p.s.After(0, onFail)
 		}
@@ -123,13 +166,18 @@ func (p *MirrorPair) WriteBlock(onDone func(), onFail func()) {
 	block := p.nextBlock
 	p.nextBlock++
 	op := &writeOp{pending: make(map[*device.Disk]bool, len(targets)), onDone: onDone, onFail: onFail}
+	op.seq = p.opSeq
+	p.opSeq++
+	if p.tracer != nil {
+		op.span = p.tracer.BeginArg(p.track, "mirrored-write", "raid", parent, p.s.Now(), block)
+	}
 	for _, d := range targets {
 		op.pending[d] = true
 	}
 	p.outstanding[op] = struct{}{}
 	for _, d := range targets {
 		d := d
-		d.Write(block, 1, func(float64) {
+		d.AccessSpan(op.span, block, 1, true, func(float64) {
 			if op.pending[d] {
 				delete(op.pending, d)
 				op.completed++
@@ -167,17 +215,24 @@ func (p *MirrorPair) ReadBlock(block int64, hedgeAfter sim.Duration, onDone func
 		}
 	}
 	start := p.s.Now()
+	var span trace.SpanID
+	if p.tracer != nil {
+		span = p.tracer.BeginArg(p.track, "mirrored-read", "raid", 0, start, block)
+	}
 	finished := false
 	finish := func(float64) {
 		if finished {
 			return
 		}
 		finished = true
+		if p.tracer != nil {
+			p.tracer.End(span, p.s.Now())
+		}
 		if onDone != nil {
 			onDone(p.s.Now() - start)
 		}
 	}
-	best.Read(block, 1, finish)
+	best.AccessSpan(span, block, 1, false, finish)
 	if hedgeAfter > 0 {
 		p.s.After(hedgeAfter, func() {
 			if finished {
@@ -185,7 +240,10 @@ func (p *MirrorPair) ReadBlock(block int64, hedgeAfter sim.Duration, onDone func
 			}
 			for _, d := range p.live() {
 				if d != best {
-					d.Read(block, 1, finish)
+					if p.tracer != nil {
+						p.tracer.Instant(p.track, "hedge", "raid", p.s.Now())
+					}
+					d.AccessSpan(span, block, 1, false, finish)
 					return
 				}
 			}
@@ -204,6 +262,9 @@ type Array struct {
 	// need it; the adaptive policy's map growth is the "increased
 	// bookkeeping" cost the paper calls out, measured by ablation A2.
 	blockMap []int
+
+	tracer *trace.Tracer
+	track  trace.TrackID
 }
 
 // NewArray builds an array over the given pairs.
@@ -216,6 +277,20 @@ func NewArray(s *sim.Simulator, pairs []*MirrorPair, blockBytes float64) *Array 
 
 // Pairs returns the array's mirror pairs.
 func (a *Array) Pairs() []*MirrorPair { return a.pairs }
+
+// SetTracer attaches a span tracer to the array, every pair, and every
+// member disk. Striper jobs record on the "array" track; each mirrored
+// write parents its per-disk spans, giving the full causal chain
+// job → mirrored-write → disk write → station queue/service.
+func (a *Array) SetTracer(t *trace.Tracer) {
+	a.tracer = t
+	if t != nil {
+		a.track = t.Track("array")
+	}
+	for _, p := range a.pairs {
+		p.SetTracer(t)
+	}
+}
 
 // BlockBytes returns the logical block size.
 func (a *Array) BlockBytes() float64 { return a.blockBytes }

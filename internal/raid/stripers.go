@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"failstutter/internal/core"
+	"failstutter/internal/trace"
 )
 
 // job tracks a striped write in progress, shared by all stripers.
@@ -17,10 +18,11 @@ type job struct {
 	reissued  int64
 	onDone    func(Result)
 	finished  bool
+	span      trace.SpanID
 }
 
 func newJob(a *Array, name string, total int64, onDone func(Result)) *job {
-	return &job{
+	j := &job{
 		a:       a,
 		name:    name,
 		total:   total,
@@ -28,6 +30,10 @@ func newJob(a *Array, name string, total int64, onDone func(Result)) *job {
 		perPair: make([]int64, len(a.pairs)),
 		onDone:  onDone,
 	}
+	if a.tracer != nil {
+		j.span = a.tracer.BeginArg(a.track, "job:"+name, "striper", 0, j.start, total)
+	}
+	return j
 }
 
 func (j *job) blockDone(pair int) {
@@ -35,6 +41,9 @@ func (j *job) blockDone(pair int) {
 	j.perPair[pair]++
 	if j.completed == j.total && !j.finished {
 		j.finished = true
+		if j.a.tracer != nil {
+			j.a.tracer.End(j.span, j.a.s.Now())
+		}
 		makespan := j.a.s.Now() - j.start
 		thr := 0.0
 		if makespan > 0 {
@@ -108,7 +117,7 @@ func runFixedShares(a *Array, name string, shares []int64, blocks int64, onDone 
 		i := i
 		p := a.pairs[i]
 		for k := int64(0); k < n; k++ {
-			p.WriteBlock(func() { j.blockDone(i) }, nil)
+			p.WriteBlockSpan(j.span, func() { j.blockDone(i) }, nil)
 		}
 	}
 }
@@ -151,7 +160,8 @@ func (p AdaptivePull) Run(a *Array, blocks int64, onDone func(Result)) {
 		remaining--
 		outstanding[i]++
 		a.recordPlacement(i)
-		pair.WriteBlock(
+		pair.WriteBlockSpan(
+			j.span,
 			func() {
 				outstanding[i]--
 				j.blockDone(i)
@@ -213,7 +223,8 @@ func (w AdaptiveWave) Run(a *Array, blocks int64, onDone func(Result)) {
 			for k := int64(0); k < n; k++ {
 				undispatched--
 				a.recordPlacement(i)
-				pair.WriteBlock(
+				pair.WriteBlockSpan(
+					j.span,
 					func() { j.blockDone(i) },
 					func() {
 						undispatched++

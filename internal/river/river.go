@@ -19,6 +19,7 @@ import (
 
 	"failstutter/internal/faults"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // Policy selects how the distributed queue routes the next record.
@@ -77,6 +78,9 @@ type DQ struct {
 
 	produced  int64
 	delivered int64
+
+	tracer *trace.Tracer
+	track  trace.TrackID // producer-side track for back-pressure instants
 }
 
 type consumer struct {
@@ -100,6 +104,19 @@ func NewDQ(s *sim.Simulator, p DQParams) *DQ {
 		dq.cons = append(dq.cons, &consumer{station: st, comp: faults.NewComposite(st)})
 	}
 	return dq
+}
+
+// SetTracer attaches a span tracer: each consumer station records its
+// queue/service spans, and the producer records a "blocked" instant every
+// time back-pressure stalls it.
+func (dq *DQ) SetTracer(t *trace.Tracer) {
+	dq.tracer = t
+	if t != nil {
+		dq.track = t.Track("producer")
+	}
+	for _, c := range dq.cons {
+		c.station.SetTracer(t)
+	}
 }
 
 // ConsumerComposite exposes consumer i's fault target.
@@ -169,6 +186,9 @@ func (dq *DQ) Produce(n int64, onDone func(makespan sim.Duration)) {
 		for remaining > 0 {
 			c := dq.pick()
 			if c < 0 {
+				if dq.tracer != nil && !dq.blocked {
+					dq.tracer.Instant(dq.track, "blocked", "river", dq.s.Now())
+				}
 				dq.blocked = true
 				return
 			}
@@ -222,6 +242,13 @@ func NewGD(s *sim.Simulator, p GDParams) *GD {
 		g.comps = append(g.comps, faults.NewComposite(st))
 	}
 	return g
+}
+
+// SetTracer attaches a span tracer to every disk station.
+func (g *GD) SetTracer(t *trace.Tracer) {
+	for _, d := range g.disks {
+		d.SetTracer(t)
+	}
 }
 
 // DiskComposite exposes disk i's fault target.

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"failstutter/internal/trace"
+)
 
 func BenchmarkScheduleAndFire(b *testing.B) {
 	s := New()
@@ -104,6 +108,27 @@ func BenchmarkStationPipeline(b *testing.B) {
 		st.SubmitFunc(1, nil)
 		if st.QueueLen() >= 4096 {
 			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkStationPipelineTraced is BenchmarkStationPipeline with a span
+// tracer attached — the enabled-cost comparison for the observability
+// plane. The tracer is swapped out at each drain so accumulated spans
+// don't dominate memory at large b.N; compare against the untraced
+// benchmark for the per-request overhead of recording queue/service spans.
+func BenchmarkStationPipelineTraced(b *testing.B) {
+	s := New()
+	st := NewStation(s, "bench", 1e6)
+	st.SetTracer(trace.NewTracer())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.SubmitFunc(1, nil)
+		if st.QueueLen() >= 4096 {
+			s.Run()
+			st.SetTracer(trace.NewTracer())
 		}
 	}
 	s.Run()

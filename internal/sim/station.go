@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"failstutter/internal/trace"
 )
 
 // Request is one unit of work submitted to a Station. Size is measured in
@@ -15,6 +17,9 @@ type Request struct {
 	Tag any
 	// OnDone, if non-nil, runs when the request finishes service.
 	OnDone func(*Request)
+	// ParentSpan optionally links the spans this request generates to a
+	// caller-level span (a RAID write, a device access). Zero means root.
+	ParentSpan trace.SpanID
 
 	// Enqueued, Started and Finished record the request's timeline.
 	Enqueued Time
@@ -22,6 +27,9 @@ type Request struct {
 	Finished Time
 
 	remaining float64
+	// span is the currently open queue or service span for this request;
+	// zero when the station has no tracer.
+	span trace.SpanID
 }
 
 // Wait returns the time the request spent queued before service began.
@@ -110,6 +118,18 @@ type Station struct {
 	busy      Duration // time spent actively serving at a positive rate
 	completed uint64
 	abandoned uint64
+
+	// tracer, when non-nil, records queue/service spans and fail/repair
+	// instants. Every hot-path touch point guards with an explicit nil
+	// check so the disabled path costs one predictable branch and zero
+	// allocations.
+	tracer *trace.Tracer
+	track  trace.TrackID
+
+	// finishFn is st.finish bound once at construction: passing a method
+	// value to Simulator.At allocates a closure per call, which would put
+	// one hidden allocation on every reschedule of the hot path.
+	finishFn func()
 }
 
 // NewStation creates a station served at rate units/second.
@@ -117,11 +137,23 @@ func NewStation(s *Simulator, name string, rate float64) *Station {
 	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
 		panic(fmt.Sprintf("sim: station %q with invalid rate %v", name, rate))
 	}
-	return &Station{sim: s, name: name, baseRate: rate, mult: 1}
+	st := &Station{sim: s, name: name, baseRate: rate, mult: 1}
+	st.finishFn = st.finish
+	return st
 }
 
 // Name returns the station's identifying label.
 func (st *Station) Name() string { return st.name }
+
+// SetTracer attaches a span tracer, recording this station's activity on
+// a track named after the station. A nil tracer detaches (the default:
+// tracing is off and costs nothing).
+func (st *Station) SetTracer(t *trace.Tracer) {
+	st.tracer = t
+	if t != nil {
+		st.track = t.Track(st.name)
+	}
+}
 
 // BaseRate returns the station's nominal service rate.
 func (st *Station) BaseRate() float64 { return st.baseRate }
@@ -186,6 +218,9 @@ func (st *Station) Submit(r *Request) {
 		st.start(r)
 		return
 	}
+	if st.tracer != nil {
+		r.span = st.tracer.Begin(st.track, "queue", "station", r.ParentSpan, r.Enqueued)
+	}
 	st.queue.push(r)
 }
 
@@ -222,6 +257,17 @@ func (st *Station) Fail() {
 	st.progress()
 	st.failed = true
 	st.stopTimer()
+	if st.tracer != nil {
+		now := st.sim.Now()
+		if st.cur != nil {
+			st.tracer.End(st.cur.span, now)
+		}
+		for i := 0; i < st.queue.n; i++ {
+			r := st.queue.buf[(st.queue.head+i)&(len(st.queue.buf)-1)]
+			st.tracer.End(r.span, now)
+		}
+		st.tracer.Instant(st.track, "fail", "station", now)
+	}
 	if st.cur != nil {
 		st.abandoned++
 		st.cur = nil
@@ -238,6 +284,9 @@ func (st *Station) Repair() {
 	}
 	st.failed = false
 	st.mult = 1
+	if st.tracer != nil {
+		st.tracer.Instant(st.track, "repair", "station", st.sim.Now())
+	}
 	// Bring lastProgress up to the repair instant so the downtime between
 	// Fail and Repair can never be charged to the first post-repair
 	// request's progress or to BusyTime.
@@ -267,6 +316,12 @@ func (st *Station) start(r *Request) {
 	st.cur = r
 	r.Started = st.sim.Now()
 	st.lastProgress = r.Started
+	if st.tracer != nil {
+		// Close the queue span (if the request waited) and open the
+		// service span in its place.
+		st.tracer.End(r.span, r.Started)
+		r.span = st.tracer.Begin(st.track, "service", "station", r.ParentSpan, r.Started)
+	}
 	st.reschedule()
 }
 
@@ -297,7 +352,7 @@ func (st *Station) reschedule() {
 		return
 	}
 	st.stopTimer()
-	st.timer = st.sim.At(at, st.finish)
+	st.timer = st.sim.At(at, st.finishFn)
 	st.timerAt = at
 }
 
@@ -312,6 +367,10 @@ func (st *Station) finish() {
 	}
 	r.Finished = st.sim.Now()
 	st.completed++
+	if st.tracer != nil {
+		st.tracer.End(r.span, r.Finished)
+		r.span = 0
+	}
 	if st.queue.len() > 0 {
 		st.start(st.queue.pop())
 	}

@@ -141,6 +141,11 @@ func (t *Tracker) Verdict(now float64) Verdict {
 	return t.spec.JudgeRate(t.lastRate)
 }
 
+// LastRate returns the most recently observed rate (zero before any
+// observation) — the raw signal behind the tracker's verdict, exposed so
+// audit trails can record the evidence.
+func (t *Tracker) LastRate() float64 { return t.lastRate }
+
 // Deficit returns how far the last observed rate falls below the expected
 // rate, as a fraction of expected (0 when at or above spec).
 func (t *Tracker) Deficit() float64 {

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEvidenceString(t *testing.T) {
+	e := Evidence{
+		Signal: "window-median", Observed: 31.2,
+		RefKind: "peer-median", Reference: 98.4,
+		Threshold: 0.5, Margin: 31.2 - 0.5*98.4,
+	}
+	s := e.String()
+	for _, want := range []string{"window-median=31.2", "0.50 x peer-median=98.4", "margin -18"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("evidence %q missing %q", s, want)
+		}
+	}
+	if (Evidence{}).String() != "no evidence" {
+		t.Fatalf("empty evidence = %q", (Evidence{}).String())
+	}
+}
+
+func TestAuditLogNilSafe(t *testing.T) {
+	var l *AuditLog
+	l.Add(AuditRecord{})
+	if l.Len() != 0 || l.Records() != nil {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestAuditLogWriteText(t *testing.T) {
+	l := NewAuditLog()
+	l.Add(AuditRecord{
+		Time: 412.0, Component: "disk-3", Detector: "window",
+		Kind: AuditTransition, From: "nominal", To: "perf-faulty",
+		Streak: 3, Need: 3,
+		Evidence: Evidence{Signal: "window-median", Observed: 31.2, RefKind: "peer-median", Reference: 98.4, Threshold: 0.5, Margin: -18},
+	})
+	l.Add(AuditRecord{
+		Time: 410.0, Component: "disk-3", Detector: "window",
+		Kind: AuditDebounce, From: "nominal", To: "perf-faulty", Streak: 1, Need: 3,
+	})
+	l.Add(AuditRecord{
+		Time: 500.0, Component: "disk-3", Detector: "spec",
+		Kind: AuditLatch, From: "perf-faulty", To: "absolute-faulty",
+	})
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"t=   412.0s", "disk-3", "nominal -> perf-faulty (streak 3/3)",
+		"suppressed (streak 1/3)", "LATCHED", "[window]", "window-median=31.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditLogWriteTextEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewAuditLog().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no verdict transitions") {
+		t.Fatalf("empty timeline = %q", buf.String())
+	}
+}
+
+func TestAuditLogWriteJSON(t *testing.T) {
+	l := NewAuditLog()
+	l.Add(AuditRecord{
+		Time: 1.5, Component: "c", Detector: "ewma", Kind: AuditTransition,
+		From: "nominal", To: "perf-faulty",
+		Evidence: Evidence{Signal: "ewma-fast", Observed: math.NaN(), Reference: math.Inf(1)},
+	})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("invalid JSON (%v):\n%s", err, buf.String())
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	ev := recs[0]["evidence"].(map[string]any)
+	if ev["observed"] != nil || ev["reference"] != nil {
+		t.Fatalf("NaN/Inf must export as null: %+v", ev)
+	}
+	if recs[0]["component"] != "c" || recs[0]["kind"] != "transition" {
+		t.Fatalf("record = %+v", recs[0])
+	}
+
+	// Empty log is a valid empty array.
+	buf.Reset()
+	if err := NewAuditLog().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty JSON = %q", buf.String())
+	}
+}

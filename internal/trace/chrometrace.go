@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteChromeTrace exports the recorded spans as Chrome trace-event JSON
+// (the "JSON Array Format" with a displayTimeUnit wrapper), loadable in
+// Perfetto or chrome://tracing.
+//
+// Layout: one process (pid 1) with one thread per track; thread names are
+// emitted as ph:"M" metadata. Intervals export as ph:"X" complete events,
+// instants as ph:"i" thread-scoped instant events. Times are seconds in
+// the tracer's base, exported as microseconds. Parent links and integer
+// payloads ride in args (span/parent ids), which keeps the format trivial
+// and byte-deterministic — no flow-event binding steps.
+//
+// Output is byte-deterministic for a given span sequence: floats are
+// formatted with strconv ('f', shortest), never scientific notation, and
+// fields are emitted in a fixed order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if first {
+			bw.WriteString("\n")
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+	var tracks []string
+	var spans []Span
+	if t != nil {
+		tracks = t.Tracks()
+		spans = t.Spans()
+	}
+	for i, name := range tracks {
+		sep()
+		bw.WriteString(`{"ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(i + 1))
+		bw.WriteString(`,"name":"thread_name","args":{"name":`)
+		bw.WriteString(strconv.Quote(name))
+		bw.WriteString(`}}`)
+	}
+	for _, s := range spans {
+		sep()
+		if s.Instant {
+			bw.WriteString(`{"ph":"i","pid":1,"tid":`)
+			bw.WriteString(strconv.Itoa(int(s.Track) + 1))
+			bw.WriteString(`,"ts":`)
+			writeMicros(bw, s.Start)
+			bw.WriteString(`,"s":"t","name":`)
+			bw.WriteString(strconv.Quote(s.Name))
+			bw.WriteString(`,"cat":`)
+			bw.WriteString(strconv.Quote(s.Cat))
+			bw.WriteString(`}`)
+			continue
+		}
+		end := s.End
+		if math.IsNaN(end) {
+			end = s.Start // unflushed open span: export as zero-duration
+		}
+		bw.WriteString(`{"ph":"X","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(int(s.Track) + 1))
+		bw.WriteString(`,"ts":`)
+		writeMicros(bw, s.Start)
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, end-s.Start)
+		bw.WriteString(`,"name":`)
+		bw.WriteString(strconv.Quote(s.Name))
+		bw.WriteString(`,"cat":`)
+		bw.WriteString(strconv.Quote(s.Cat))
+		bw.WriteString(`,"args":{"span":`)
+		bw.WriteString(strconv.FormatInt(int64(s.ID), 10))
+		if s.Parent != 0 {
+			bw.WriteString(`,"parent":`)
+			bw.WriteString(strconv.FormatInt(int64(s.Parent), 10))
+		}
+		if s.HasArg {
+			bw.WriteString(`,"arg":`)
+			bw.WriteString(strconv.FormatInt(s.Arg, 10))
+		}
+		bw.WriteString(`}}`)
+	}
+	if !first {
+		bw.WriteString("\n")
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeMicros renders seconds as microseconds in plain decimal notation.
+// Negative near-zero durations (float cancellation) clamp to 0.
+func writeMicros(bw *bufio.Writer, seconds float64) {
+	us := seconds * 1e6
+	if us < 0 {
+		us = 0
+	}
+	bw.WriteString(strconv.FormatFloat(us, 'f', -1, 64))
+}

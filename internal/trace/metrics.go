@@ -166,10 +166,20 @@ type Series struct {
 }
 
 // Add appends a sample. Timestamps must be non-decreasing; violations
-// panic because they always indicate a recording bug.
+// panic because they always indicate a recording bug. A sample at the
+// same timestamp as the previous one overwrites it (latest wins), so
+// memory and At's lookup stay O(distinct timestamps) even when a probe
+// fires many times at one instant.
 func (s *Series) Add(t, v float64) {
-	if n := len(s.Times); n > 0 && t < s.Times[n-1] {
-		panic(fmt.Sprintf("trace: series timestamp %v before %v", t, s.Times[n-1]))
+	if n := len(s.Times); n > 0 {
+		last := s.Times[n-1]
+		if t < last {
+			panic(fmt.Sprintf("trace: series timestamp %v before %v", t, last))
+		}
+		if t == last {
+			s.Values[n-1] = v
+			return
+		}
 	}
 	s.Times = append(s.Times, t)
 	s.Values = append(s.Values, v)
@@ -182,11 +192,9 @@ func (s *Series) Len() int { return len(s.Times) }
 func (s *Series) At(t float64) float64 {
 	idx := sort.SearchFloat64s(s.Times, t)
 	// idx is the first index with Times[idx] >= t; step back unless exact.
+	// Timestamps are strictly increasing (Add collapses duplicates), so no
+	// equal-run scan is needed.
 	if idx < len(s.Times) && s.Times[idx] == t {
-		// Return the last of any equal timestamps.
-		for idx+1 < len(s.Times) && s.Times[idx+1] == t {
-			idx++
-		}
 		return s.Values[idx]
 	}
 	if idx == 0 {
@@ -210,8 +218,14 @@ func (s *Series) Sparkline(width int) string {
 		return ""
 	}
 	ramp := []rune("▁▂▃▄▅▆▇█")
-	lo, hi := s.Values[0], s.Values[0]
+	// NaN samples must not enter the min/max scan: a single NaN would
+	// poison every comparison and flatten the scaling. They render as
+	// gaps instead.
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range s.Values {
+		if math.IsNaN(v) {
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
@@ -227,6 +241,10 @@ func (s *Series) Sparkline(width int) string {
 			idx = i * (len(s.Values) - 1) / (width - 1)
 		}
 		v := s.Values[idx]
+		if math.IsNaN(v) {
+			b.WriteRune(' ')
+			continue
+		}
 		level := 0
 		if hi > lo {
 			level = int((v - lo) / (hi - lo) * float64(len(ramp)-1))

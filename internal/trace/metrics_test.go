@@ -183,6 +183,30 @@ func TestSeriesDuplicateTimestampTakesLatest(t *testing.T) {
 	}
 }
 
+// Regression: equal-timestamp samples used to append unboundedly, so a
+// probe firing many times at one instant grew memory and made At's
+// equal-run scan O(duplicates). Add now collapses them in place.
+func TestSeriesDuplicateTimestampsCollapse(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	for i := 0; i < 1000; i++ {
+		s.Add(5, float64(i))
+	}
+	s.Add(7, 42)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates collapsed)", s.Len())
+	}
+	if got := s.At(5); got != 999 {
+		t.Fatalf("At(5) = %v, want 999 (latest duplicate)", got)
+	}
+	if got := s.At(6); got != 999 {
+		t.Fatalf("At(6) = %v, want 999", got)
+	}
+	if s.Last() != 42 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+}
+
 func TestSeriesOutOfOrderPanics(t *testing.T) {
 	var s Series
 	s.Add(5, 1)
@@ -216,6 +240,47 @@ func TestSparkline(t *testing.T) {
 	var empty Series
 	if empty.Sparkline(8) != "" {
 		t.Fatal("empty sparkline not empty string")
+	}
+}
+
+// Regression: a single NaN sample used to poison the min/max scaling scan
+// (every comparison against NaN is false), flattening the whole strip.
+// NaNs now skip the scan and render as gaps.
+func TestSparklineNaNSamples(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(1, math.NaN())
+	s.Add(2, 2)
+	s.Add(3, 4)
+	sl := []rune(s.Sparkline(4))
+	if len(sl) != 4 {
+		t.Fatalf("width = %d", len(sl))
+	}
+	if sl[1] != ' ' {
+		t.Fatalf("NaN sample rendered %q, want gap", sl[1])
+	}
+	// Scaling must still span the real values: first is the ramp bottom,
+	// last the ramp top.
+	if sl[0] != '▁' || sl[3] != '█' {
+		t.Fatalf("sparkline %q lost scaling to NaN", string(sl))
+	}
+}
+
+func TestSparklineAllNaN(t *testing.T) {
+	var s Series
+	s.Add(0, math.NaN())
+	s.Add(1, math.NaN())
+	if got := s.Sparkline(3); got != "   " {
+		t.Fatalf("all-NaN sparkline = %q, want gaps", got)
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 5)
+	s.Add(1, 5)
+	if got := s.Sparkline(4); got != "▁▁▁▁" {
+		t.Fatalf("constant sparkline = %q", got)
 	}
 }
 

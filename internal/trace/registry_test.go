@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reissues", L("pair", "0"))
+	c1.Inc()
+	c2 := r.Counter("reissues", L("pair", "0"))
+	if c1 != c2 {
+		t.Fatal("same name+labels gave distinct counters")
+	}
+	if c2.Value() != 1 {
+		t.Fatalf("value = %d", c2.Value())
+	}
+	other := r.Counter("reissues", L("pair", "1"))
+	if other == c1 {
+		t.Fatal("distinct labels gave the same counter")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("rate", L("run", "0"), L("pair", "1"))
+	b := r.Series("rate", L("pair", "1"), L("run", "0"))
+	if a != b {
+		t.Fatal("label order changed identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Series("x")
+}
+
+func TestRegistryNilHandsOutUnregisteredInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	c.Inc()
+	s := r.Series("b")
+	s.Add(1, 2)
+	h := r.Histogram("c", 1, 10, 4)
+	h.Observe(5)
+	m := r.Meter("d", 1)
+	m.Offered()
+	if r.Len() != 0 {
+		t.Fatal("nil registry registered something")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil registry JSON invalid: %v", err)
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "kind,name,labels,field,time,value") {
+		t.Fatalf("nil registry CSV = %q", buf.String())
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reissues", L("policy", "adaptive")).Add(3)
+	s := r.Series("rate", L("pair", "0"))
+	s.Add(0, 100)
+	s.Add(1, 90)
+	r.Histogram("latency", 0.001, 10, 20).Observe(0.5)
+	m := r.Meter("avail", 0.5, L("design", "least-queue"))
+	m.Offered()
+	m.Completed(0.1)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			Value  uint64            `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name  string  `json:"name"`
+			Count uint64  `json:"count"`
+			Mean  float64 `json:"mean"`
+		} `json:"histograms"`
+		Series []struct {
+			Name   string    `json:"name"`
+			Times  []float64 `json:"times"`
+			Values []float64 `json:"values"`
+		} `json:"series"`
+		Meters []struct {
+			Name         string  `json:"name"`
+			Availability float64 `json:"availability"`
+		} `json:"meters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON (%v):\n%s", err, buf.String())
+	}
+	if len(doc.Counters) != 1 || doc.Counters[0].Value != 3 || doc.Counters[0].Labels["policy"] != "adaptive" {
+		t.Fatalf("counters = %+v", doc.Counters)
+	}
+	if len(doc.Series) != 1 || len(doc.Series[0].Times) != 2 || doc.Series[0].Values[1] != 90 {
+		t.Fatalf("series = %+v", doc.Series)
+	}
+	if len(doc.Histograms) != 1 || doc.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	if len(doc.Meters) != 1 || doc.Meters[0].Availability != 1 {
+		t.Fatalf("meters = %+v", doc.Meters)
+	}
+}
+
+func TestRegistryWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n", L("k", "v")).Inc()
+	s := r.Series("rate")
+	s.Add(0.5, 10)
+	s.Add(1.5, 20)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "kind,name,labels,field,time,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := []string{
+		"counter,n,k=v,value,,1",
+		"series,rate,,sample,0.5,10",
+		"series,rate,,sample,1.5,20",
+	}
+	if len(lines) != 1+len(want) {
+		t.Fatalf("rows:\n%s", buf.String())
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Fatalf("row %d = %q, want %q", i+1, lines[i+1], w)
+		}
+	}
+}
+
+func TestRegistryExportDeterministic(t *testing.T) {
+	build := func(order []int) (*bytes.Buffer, *bytes.Buffer) {
+		r := NewRegistry()
+		// Register in varying order; exports sort by key.
+		for _, i := range order {
+			switch i {
+			case 0:
+				r.Counter("a", L("x", "1")).Inc()
+			case 1:
+				r.Counter("b").Add(2)
+			case 2:
+				r.Series("s", L("x", "2")).Add(1, 1)
+			}
+		}
+		var j, c bytes.Buffer
+		if err := r.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return &j, &c
+	}
+	j1, c1 := build([]int{0, 1, 2})
+	j2, c2 := build([]int{2, 1, 0})
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatalf("JSON depends on registration order:\n%s\nvs\n%s", j1, j2)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatalf("CSV depends on registration order:\n%s\nvs\n%s", c1, c2)
+	}
+}
+
+func TestCSVFieldQuoting(t *testing.T) {
+	if got := csvField("plain"); got != "plain" {
+		t.Fatalf("plain = %q", got)
+	}
+	if got := csvField(`a,b"c`); got != `"a,b""c"` {
+		t.Fatalf("quoted = %q", got)
+	}
+}
