@@ -22,11 +22,32 @@ func BenchmarkSuiteQuickSerial(b *testing.B) {
 }
 
 // BenchmarkSuiteQuickParallel is the same suite fanned across GOMAXPROCS
-// workers (wall-clock experiments still run exclusively, see RunAll).
+// workers. Every experiment runs in virtual time, so the fan-out changes
+// wall-clock only — the tables are byte-identical to the serial run.
 func BenchmarkSuiteQuickParallel(b *testing.B) {
 	p := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
 		experiments.RunAll(benchCfg, p)
+	}
+}
+
+// BenchmarkClusterSuite regenerates just the five cluster-backed
+// experiments (E14, E15, E23, E24, E29) — the ones that burned real
+// wall-clock seconds before the cluster plane moved onto the virtual-time
+// kernel.
+func BenchmarkClusterSuite(b *testing.B) {
+	var exps []experiments.Experiment
+	for _, id := range []string{"E14", "E15", "E23", "E24", "E29"} {
+		e, err := experiments.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, e := range exps {
+			e.Run(benchCfg)
+		}
 	}
 }
 

@@ -13,7 +13,9 @@
 //
 //	-seed N           random seed (default 42)
 //	-quick            shrink workloads for a fast pass (the test suite's mode)
-//	-parallel N       experiment fan-out for `all` (default GOMAXPROCS)
+//	-parallel N       experiment fan-out for `all` (default GOMAXPROCS);
+//	                  every experiment runs in virtual time, so the tables
+//	                  are byte-identical at any fan-out
 //	-trace-out PATH   write Chrome trace-event JSON (open in Perfetto or
 //	                  chrome://tracing); a directory gets <ID>.trace.json
 //	                  per experiment, a .json path is used verbatim when

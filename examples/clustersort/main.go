@@ -1,10 +1,11 @@
-// Clustersort: a distributed sort on real goroutines, with a CPU hog.
+// Clustersort: a distributed sort in virtual time, with a CPU hog.
 //
-// Four workers sort a partitioned record space. Mid-job, a competing
-// process lands on worker 0 and takes half its CPU — the NOW-Sort
-// interference the paper surveys ("a node with excess CPU load reduces
-// global sorting performance by a factor of two"). Six schedulers of
-// increasing fail-stutter awareness run the identical job:
+// Four workers sort a partitioned record space on the discrete-event
+// kernel. Mid-job, a competing process lands on worker 0 and takes half
+// its CPU — the NOW-Sort interference the paper surveys ("a node with
+// excess CPU load reduces global sorting performance by a factor of
+// two"). Six schedulers of increasing fail-stutter awareness run the
+// identical job:
 //
 //	static-partition   fail-stop design: fixed equal chunks
 //	gauged-partition   scenario 2: probe speeds once, split proportionally
@@ -13,12 +14,14 @@
 //	reissue            Shasha-Turek slow-down reissue with reconcile
 //	detect-avoid       fail-stutter loop: detect, flag, migrate backlog
 //
+// Every run is deterministic: the makespans below are exact functions of
+// the configuration, reproducible to the last digit.
+//
 // Run with: go run ./examples/clustersort
 package main
 
 import (
 	"fmt"
-	"time"
 
 	"failstutter"
 	"failstutter/internal/workload"
@@ -28,34 +31,37 @@ func main() {
 	const (
 		workers    = 4
 		partitions = 64
-		quantum    = 50 * time.Microsecond
+		quantum    = 50e-6 // 50 virtual microseconds per work unit
 	)
 	// Partition the record space; task cost follows n log n.
 	records := 1 << 20
 	perPart := records / partitions
-	units := workload.SortUnits(perPart, perPart) / 400
+	units := workload.SortUnits(perPart, perPart)
 	tasks := failstutter.UniformTasks(partitions, units)
 	fmt.Printf("sorting %d records in %d partitions (%d work units each) on %d workers\n\n",
 		records, partitions, units, workers)
 
 	fmt.Println("healthy cluster:")
 	for _, sched := range failstutter.Schedulers() {
-		pool := failstutter.NewPool(workers, quantum)
+		pool := failstutter.NewPool(failstutter.NewSimulator(), workers, quantum)
 		r := sched.Run(pool, tasks)
-		fmt.Printf("  %-18s %8v\n", r.Scheduler, r.Makespan.Round(time.Millisecond))
+		fmt.Printf("  %-18s %9.3fs\n", r.Scheduler, r.Makespan)
 	}
 
-	fmt.Println("\nCPU hog lands on worker 0 ten milliseconds in (50% CPU for the rest of the job):")
+	// The hog lands a tenth of the way into the healthy-case job.
+	hogAt := float64(partitions*units) * quantum / workers / 10
+
+	fmt.Println("\nCPU hog lands on worker 0 early in the job (50% CPU for the rest of it):")
 	for _, sched := range failstutter.Schedulers() {
-		pool := failstutter.NewPool(workers, quantum)
-		timer := time.AfterFunc(10*time.Millisecond, func() { pool.Workers()[0].SetSpeed(0.5) })
+		s := failstutter.NewSimulator()
+		pool := failstutter.NewPool(s, workers, quantum)
+		s.After(hogAt, func() { pool.Workers()[0].SetSpeed(0.5) })
 		r := sched.Run(pool, tasks)
-		timer.Stop()
 		extra := ""
 		if r.Duplicates > 0 {
-			extra = fmt.Sprintf("  (%d duplicate launches, %d units wasted)", r.Duplicates, r.WastedUnits)
+			extra = fmt.Sprintf("  (%d duplicate launches, %.0f units wasted)", r.Duplicates, r.WastedUnits)
 		}
-		fmt.Printf("  %-18s %8v%s\n", r.Scheduler, r.Makespan.Round(time.Millisecond), extra)
+		fmt.Printf("  %-18s %9.3fs%s\n", r.Scheduler, r.Makespan, extra)
 	}
 
 	fmt.Println("\nsevere mid-job slow-down failure (worker 0 drops to 2%):")
@@ -64,14 +70,12 @@ func main() {
 			if sched.Name() != name {
 				continue
 			}
-			pool := failstutter.NewPool(workers, quantum)
-			timer := time.AfterFunc(10*time.Millisecond, func() { pool.Workers()[0].SetSpeed(0.02) })
+			s := failstutter.NewSimulator()
+			pool := failstutter.NewPool(s, workers, quantum)
+			s.After(hogAt, func() { pool.Workers()[0].SetSpeed(0.02) })
 			r := sched.Run(pool, tasks)
-			timer.Stop()
-			pool.Workers()[0].SetSpeed(1)
-			fmt.Printf("  %-18s %8v  (wasted %d units of %d total)\n",
-				r.Scheduler, r.Makespan.Round(time.Millisecond),
-				r.WastedUnits, partitions*units)
+			fmt.Printf("  %-18s %9.3fs  (wasted %.0f units of %d total)\n",
+				r.Scheduler, r.Makespan, r.WastedUnits, partitions*units)
 		}
 	}
 	fmt.Println("\nthe pull-based and reissue designs shed the stutterer; the static design tracks it")

@@ -5,7 +5,9 @@
 // "untimely garbage collection causes one node to fall behind its mirror
 // ... one machine over-saturates and thus is the bottleneck".
 //
-// Three configurations run the same closed-loop put workload:
+// Three configurations run the same closed-loop put workload, each on its
+// own virtual-time simulator (500 virtual milliseconds of load,
+// deterministic to the last put):
 //
 //	baseline    no GC, synchronous replication
 //	fail-stop   GC + synchronous replication: throughput collapses
@@ -19,30 +21,29 @@ package main
 
 import (
 	"fmt"
-	"time"
 
 	"failstutter"
 )
 
 func run(gc, adaptive bool) (puts int64, hints int64) {
-	d := failstutter.NewDHT(failstutter.DHTParams{
+	s := failstutter.NewSimulator()
+	d := failstutter.NewDHT(s, failstutter.DHTParams{
 		Nodes:       4,
 		Replication: 2,
-		OpQuantum:   50 * time.Microsecond,
+		OpQuantum:   50e-6, // 50 virtual microseconds per operation
 		Adaptive:    adaptive,
-		SampleEvery: time.Millisecond,
+		SampleEvery: 1e-3,
 	})
-	defer d.Stop()
 	if gc {
-		cancel := d.StartGC(0, 40*time.Millisecond, 35*time.Millisecond)
+		cancel := d.StartGC(0, 40e-3, 35e-3)
 		defer cancel()
 	}
-	puts = d.RunLoad(8, 500*time.Millisecond)
+	puts = d.RunLoad(8, 500e-3)
 	return puts, d.Hints()
 }
 
 func main() {
-	fmt.Println("replicated DHT: 4 nodes, 2 replicas per key, 8 closed-loop clients, 500 ms")
+	fmt.Println("replicated DHT: 4 nodes, 2 replicas per key, 8 closed-loop clients, 500 virtual ms")
 	base, _ := run(false, false)
 	fmt.Printf("  %-34s %6d puts  (1.00x)\n", "baseline (no GC, synchronous)", base)
 

@@ -18,7 +18,7 @@
 //     with static, install-time-gauged, and continuously-adaptive
 //     striping (NewMirrorPair, NewArray, StaticEqual, GaugedProportional,
 //     AdaptivePull, AdaptiveWave);
-//   - fail-stutter-tolerant computation: a goroutine worker pool with
+//   - fail-stutter-tolerant computation: a virtual-time worker pool with
 //     schedulers from static partitioning to detect-and-avoid migration,
 //     plus a replicated DHT with hinted handoff (NewPool, Schedulers,
 //     NewDHT);
@@ -27,14 +27,13 @@
 //     volume its future work proposes (NewWindVolume), whose placement
 //     consults the notification registry.
 //
-// Everything simulated runs on the deterministic discrete-event kernel in
-// Sim; the cluster runtime runs on real goroutines. The Experiments
-// function exposes the full reproduction suite (see EXPERIMENTS.md).
+// Everything — devices, RAID, River, WiND, and the cluster runtime —
+// runs on the deterministic discrete-event kernel in Sim, so every result
+// is a pure function of its configuration. The Experiments function
+// exposes the full reproduction suite (see EXPERIMENTS.md).
 package failstutter
 
 import (
-	"time"
-
 	"failstutter/internal/cluster"
 	"failstutter/internal/core"
 	"failstutter/internal/detect"
@@ -201,7 +200,7 @@ func WriteAndMeasure(s *Simulator, a *Array, st Striper, blocks int64) (StripeRe
 	return raid.WriteAndMeasure(s, a, st, blocks)
 }
 
-// Cluster layer (real goroutines).
+// Cluster layer (virtual time).
 type (
 	// Pool is a set of workers with injectable slowdowns.
 	Pool = cluster.Pool
@@ -219,8 +218,9 @@ type (
 	DHTParams = cluster.DHTParams
 )
 
-// NewPool builds n workers with the given work-unit quantum.
-func NewPool(n int, quantum time.Duration) *Pool { return cluster.NewPool(n, quantum) }
+// NewPool builds n workers on the simulator with the given work-unit
+// quantum (the virtual time one unit costs at speed 1).
+func NewPool(s *Simulator, n int, quantum float64) *Pool { return cluster.NewPool(s, n, quantum) }
 
 // Schedulers returns the standard comparison set, least to most
 // fail-stutter aware.
@@ -229,8 +229,8 @@ func Schedulers() []Scheduler { return cluster.Schedulers() }
 // UniformTasks builds n tasks of equal size.
 func UniformTasks(n, units int) []Task { return cluster.UniformTasks(n, units) }
 
-// NewDHT builds and starts a replicated hash table.
-func NewDHT(p DHTParams) *DHT { return cluster.NewDHT(p) }
+// NewDHT builds a replicated hash table on the simulator.
+func NewDHT(s *Simulator, p DHTParams) *DHT { return cluster.NewDHT(s, p) }
 
 // WiND layer (Section 5's target system, prototyped): a replicated
 // network storage volume whose placement consults the registry.

@@ -7,7 +7,6 @@ package failstutter_test
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"failstutter"
 	"failstutter/internal/faults"
@@ -123,23 +122,28 @@ func TestPublicAPIPromotionToAbsolute(t *testing.T) {
 }
 
 func TestPublicAPIClusterSchedulers(t *testing.T) {
-	pool := failstutter.NewPool(4, 50*time.Microsecond)
-	pool.Workers()[0].SetSpeed(0.25)
-	tasks := failstutter.UniformTasks(48, 60)
-	var static, queue failstutter.SchedulerReport
-	for _, sched := range failstutter.Schedulers() {
-		switch sched.Name() {
-		case "static-partition":
-			static = sched.Run(pool, tasks)
-		case "work-queue":
-			p2 := failstutter.NewPool(4, 50*time.Microsecond)
-			p2.Workers()[0].SetSpeed(0.25)
-			queue = sched.Run(p2, tasks)
+	const quantum = 50e-6
+	run := func(name string) failstutter.SchedulerReport {
+		for _, sched := range failstutter.Schedulers() {
+			if sched.Name() != name {
+				continue
+			}
+			pool := failstutter.NewPool(failstutter.NewSimulator(), 4, quantum)
+			pool.Workers()[0].SetSpeed(0.25)
+			return sched.Run(pool, failstutter.UniformTasks(48, 60))
 		}
+		t.Fatalf("scheduler %q not in facade set", name)
+		return failstutter.SchedulerReport{}
 	}
+	static, queue := run("static-partition"), run("work-queue")
 	if queue.Makespan*2 > static.Makespan {
 		t.Fatalf("work queue %v not clearly below static %v via facade",
 			queue.Makespan, static.Makespan)
+	}
+	// The cluster plane runs on the virtual-time kernel: a repeated run is
+	// bitwise identical, not merely statistically close.
+	if again := run("work-queue"); again.String() != queue.String() || again.Makespan != queue.Makespan {
+		t.Fatalf("work-queue report not reproducible:\n%v\n%v", queue, again)
 	}
 }
 

@@ -2,8 +2,8 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
-	"time"
+
+	"failstutter/internal/sim"
 )
 
 // BSPParams configures a bulk-synchronous parallel computation: Rounds
@@ -29,9 +29,9 @@ type BSPParams struct {
 // BSPReport summarizes a BSP run.
 type BSPReport struct {
 	Params   BSPParams
-	Makespan time.Duration
+	Makespan sim.Duration
 	// PerWorkerUnits is the work each worker actually executed.
-	PerWorkerUnits []int64
+	PerWorkerUnits []float64
 }
 
 func (r BSPReport) String() string {
@@ -39,11 +39,13 @@ func (r BSPReport) String() string {
 	if r.Params.Elastic {
 		kind = "elastic"
 	}
-	return fmt.Sprintf("bsp(%s): %d rounds in %v", kind, r.Params.Rounds,
-		r.Makespan.Round(time.Millisecond))
+	return fmt.Sprintf("bsp(%s): %d rounds in %.3fs", kind, r.Params.Rounds, r.Makespan)
 }
 
-// RunBSP executes the computation on the pool and reports.
+// RunBSP executes the computation on the pool's simulator and returns
+// when the final barrier clears. Barriers are pure events — a round ends
+// at the instant its last worker finishes — so a straggler's tax on each
+// round is exact, with no polling or OS scheduling in between.
 func RunBSP(p *Pool, params BSPParams) BSPReport {
 	if params.Rounds < 1 || params.UnitsPerWorkerRound < 1 {
 		panic(fmt.Sprintf("cluster: invalid BSP params %+v", params))
@@ -52,45 +54,96 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 	if grain < 1 {
 		grain = 20
 	}
-	before := snapshotUnits(p)
-	start := time.Now()
+	s := p.sim
 	n := p.Size()
-	for round := 0; round < params.Rounds; round++ {
-		var wg sync.WaitGroup
-		if !params.Elastic {
-			for _, w := range p.Workers() {
-				wg.Add(1)
-				go func(w *Worker) {
-					defer wg.Done()
-					w.runUnits(params.UnitsPerWorkerRound, nil)
-				}(w)
-			}
-		} else {
-			total := params.UnitsPerWorkerRound * n
-			grains := make(chan int, total/grain+1)
-			for rem := total; rem > 0; rem -= grain {
-				g := grain
-				if rem < grain {
-					g = rem
-				}
-				grains <- g
-			}
-			close(grains)
-			for _, w := range p.Workers() {
-				wg.Add(1)
-				go func(w *Worker) {
-					defer wg.Done()
-					for g := range grains {
-						w.runUnits(g, nil)
+	start := s.Now()
+	before := snapshotUnits(p)
+
+	var (
+		round     int
+		barrier   int     // workers yet to reach the current round's barrier
+		remaining float64 // elastic: pooled units left in the current round
+		done      bool
+		doneAt    sim.Time
+	)
+
+	finishJob := func() {
+		done = true
+		doneAt = s.Now()
+		s.Stop()
+	}
+
+	var startRound func()
+
+	if params.Elastic {
+		// Pull a grain from the round's pool; leave the barrier only when
+		// the pool is empty.
+		pull := func(w *Worker) {
+			if remaining <= 0 {
+				barrier--
+				if barrier == 0 {
+					round++
+					if round == params.Rounds {
+						finishJob()
+						return
 					}
-				}(w)
+					startRound()
+				}
+				return
+			}
+			g := float64(grain)
+			if g > remaining {
+				g = remaining
+			}
+			remaining -= g
+			w.exec(g)
+		}
+		startRound = func() {
+			barrier = n
+			remaining = float64(params.UnitsPerWorkerRound) * float64(n)
+			for _, w := range p.workers {
+				pull(w)
 			}
 		}
-		wg.Wait() // the barrier
+		for _, w := range p.workers {
+			w.finish = pull
+		}
+	} else {
+		// Each worker owns its full per-round share; the barrier clears
+		// when the slowest finishes.
+		arrive := func(*Worker) {
+			barrier--
+			if barrier == 0 {
+				round++
+				if round == params.Rounds {
+					finishJob()
+					return
+				}
+				startRound()
+			}
+		}
+		startRound = func() {
+			barrier = n
+			for _, w := range p.workers {
+				w.exec(float64(params.UnitsPerWorkerRound))
+			}
+		}
+		for _, w := range p.workers {
+			w.finish = arrive
+		}
+	}
+
+	startRound()
+	s.Run()
+	for _, w := range p.workers {
+		w.finish = nil
+	}
+	if !done {
+		panic(fmt.Sprintf("cluster: BSP stalled in round %d with %d workers short of the barrier", round, barrier))
 	}
 	return BSPReport{
 		Params:         params,
-		Makespan:       time.Since(start),
+		Makespan:       doneAt - start,
 		PerWorkerUnits: perWorkerUnits(p, before),
 	}
 }

@@ -3,33 +3,40 @@ package cluster
 import (
 	"strings"
 	"testing"
-	"time"
+
+	"failstutter/internal/sim"
 )
 
 func TestBSPCompletesAllWork(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	r := RunBSP(p, BSPParams{Rounds: 3, UnitsPerWorkerRound: 40})
-	var sum int64
+	var sum float64
 	for _, u := range r.PerWorkerUnits {
 		sum += u
 	}
 	if sum != 3*4*40 {
-		t.Fatalf("executed %d units, want %d", sum, 3*4*40)
+		t.Fatalf("executed %v units, want %d", sum, 3*4*40)
 	}
 	if !strings.Contains(r.String(), "static") {
 		t.Fatalf("report string %q", r.String())
 	}
+	// All healthy: each round is exactly 40q, barriers cost nothing.
+	if !near(r.Makespan, 3*40*q) {
+		t.Fatalf("makespan = %v, want %v", r.Makespan, 3*40*q)
+	}
 }
 
 func TestBSPElasticCompletesAllWork(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	r := RunBSP(p, BSPParams{Rounds: 3, UnitsPerWorkerRound: 40, Elastic: true})
-	var sum int64
+	var sum float64
 	for _, u := range r.PerWorkerUnits {
 		sum += u
 	}
 	if sum != 3*4*40 {
-		t.Fatalf("executed %d units, want %d", sum, 3*4*40)
+		t.Fatalf("executed %v units, want %d", sum, 3*4*40)
 	}
 	if !strings.Contains(r.String(), "elastic") {
 		t.Fatalf("report string %q", r.String())
@@ -37,15 +44,20 @@ func TestBSPElasticCompletesAllWork(t *testing.T) {
 }
 
 func TestBSPBarrierGatedBySlowWorker(t *testing.T) {
-	// One worker at quarter speed: static BSP pays ~4x on every round;
-	// elastic BSP redistributes within rounds and stays close to healthy.
-	run := func(elastic bool) time.Duration {
-		p := NewPool(4, q)
+	// One worker at quarter speed: static BSP pays exactly 4x on every
+	// round; elastic BSP redistributes within rounds and stays close to
+	// healthy.
+	run := func(elastic bool) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 4, q)
 		p.Workers()[0].SetSpeed(0.25)
 		return RunBSP(p, BSPParams{Rounds: 4, UnitsPerWorkerRound: 60, Elastic: elastic, Grain: 20}).Makespan
 	}
 	static := run(false)
 	elastic := run(true)
+	if !near(static, 4*60*q/0.25) {
+		t.Fatalf("static makespan = %v, want exactly %v", static, 4*60*q/0.25)
+	}
 	if elastic*2 > static {
 		t.Fatalf("elastic BSP %v not clearly below static %v with a slow worker",
 			elastic, static)
@@ -53,13 +65,32 @@ func TestBSPBarrierGatedBySlowWorker(t *testing.T) {
 }
 
 func TestBSPElasticSkewsWorkToFastWorkers(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	p.Workers()[0].SetSpeed(0.2)
 	r := RunBSP(p, BSPParams{Rounds: 2, UnitsPerWorkerRound: 60, Elastic: true, Grain: 20})
 	slow := r.PerWorkerUnits[0]
 	for i, u := range r.PerWorkerUnits[1:] {
 		if slow >= u {
-			t.Fatalf("slow worker did %d units, healthy worker %d did %d", slow, i+1, u)
+			t.Fatalf("slow worker did %v units, healthy worker %d did %v", slow, i+1, u)
+		}
+	}
+}
+
+func TestBSPDeterministic(t *testing.T) {
+	run := func() BSPReport {
+		s := sim.New()
+		p := NewPool(s, 4, q)
+		p.Hog(0, 0.25, 3e-3)
+		return RunBSP(p, BSPParams{Rounds: 4, UnitsPerWorkerRound: 60, Elastic: true, Grain: 20})
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Fatalf("BSP not deterministic: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for i := range a.PerWorkerUnits {
+		if a.PerWorkerUnits[i] != b.PerWorkerUnits[i] {
+			t.Fatalf("per-worker units differ at %d: %v vs %v", i, a.PerWorkerUnits[i], b.PerWorkerUnits[i])
 		}
 	}
 }
@@ -70,5 +101,5 @@ func TestBSPInvalidParamsPanics(t *testing.T) {
 			t.Fatal("invalid BSP params did not panic")
 		}
 	}()
-	RunBSP(NewPool(2, q), BSPParams{})
+	RunBSP(NewPool(sim.New(), 2, q), BSPParams{})
 }

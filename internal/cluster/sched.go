@@ -3,15 +3,13 @@ package cluster
 import (
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
 
+	"failstutter/internal/sim"
 	"failstutter/internal/stats"
-	"failstutter/internal/trace"
 )
 
-// Task is one unit of schedulable work.
+// Task is one unit of schedulable work. IDs must be dense in [0, n) for a
+// task set of n tasks — they index the completion ledger.
 type Task struct {
 	ID    int
 	Units int
@@ -29,82 +27,298 @@ func UniformTasks(n, units int) []Task {
 // Report summarizes one scheduled run.
 type Report struct {
 	Scheduler      string
-	Makespan       time.Duration
+	Makespan       sim.Duration
 	Tasks          int
-	PerWorkerUnits []int64
+	PerWorkerUnits []float64
 	// WastedUnits is work executed for tasks whose completion had already
 	// been claimed by another replica — the replication cost of hedging
-	// and reissue.
-	WastedUnits int64
+	// and reissue. Executions in flight when the job completes contribute
+	// their partial progress.
+	WastedUnits float64
 	// Duplicates is the number of extra executions launched.
 	Duplicates int64
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("%s: %d tasks in %v (wasted %d units, %d duplicate launches)",
-		r.Scheduler, r.Tasks, r.Makespan.Round(time.Millisecond), r.WastedUnits, r.Duplicates)
+	return fmt.Sprintf("%s: %d tasks in %.3fs (wasted %.0f units, %d duplicate launches)",
+		r.Scheduler, r.Tasks, r.Makespan, r.WastedUnits, r.Duplicates)
 }
 
-// Scheduler runs a task set on a pool and reports.
+// Scheduler runs a task set on a pool and reports. Run drives the pool's
+// simulator until every task is claimed, then stops it; fault events the
+// caller scheduled beforehand fire during the run, and events scheduled
+// after the completion instant are left unfired.
 type Scheduler interface {
 	Name() string
 	Run(p *Pool, tasks []Task) Report
 }
 
-// taskBoard is the shared completion ledger: at-most-once completion per
-// task via an atomic claim, the "reconciling properly so as to avoid work
-// replication" of Shasha & Turek.
-type taskBoard struct {
-	claimed []atomic.Bool
-	left    atomic.Int64
-	wasted  atomic.Int64
-	dups    atomic.Int64
+// engine is the shared dispatch core behind every scheduler: a completion
+// ledger with at-most-once claims (the "reconciling properly so as to
+// avoid work replication" of Shasha & Turek), per-worker dispatch driven
+// by execution-completion events, and policy hooks for where the next
+// task comes from. Everything is indexed by dense task ID — no map
+// iteration anywhere, so execution order is a pure function of the
+// configuration.
+type engine struct {
+	name string
+	p    *Pool
+
+	byID    []Task // tasks indexed by ID
+	claimed []bool
+	left    int
+	wasted  float64
+	dups    int64
+
+	// Per-worker execution state.
+	cur       []int // task ID in flight, -1 when idle
+	execStart []sim.Time
+	idle      []bool
+
+	// Central-queue policies (work-queue, hedged, reissue).
+	pending []Task
+	phead   int
+
+	// Per-worker-queue policies (static/gauged partition, detect-avoid).
+	queues [][]Task
+	qhead  []int
+
+	// Speculation (hedged, reissue).
+	cloneWhenIdle bool
+	maxClones     int
+	clones        []int
+	firstStart    []sim.Time // first dispatch time per task, -1 before
+
+	// durations holds winning execution times for the reissue monitor's
+	// median; medScratch is its reusable in-place-median copy.
+	durations  []float64
+	medScratch []float64
+
+	// next returns worker w's next task, or ok=false to idle the worker.
+	next func(w int) (Task, bool)
+	// monitor, when non-nil, runs every monitorPeriod of virtual time
+	// until the job completes (reissue timeouts, detect-avoid sampling).
+	monitor       func()
+	monitorPeriod sim.Duration
+
+	startUnits []float64
+	start      sim.Time
+	doneAt     sim.Time
+	finished   bool
 }
 
-func newTaskBoard(n int) *taskBoard {
-	b := &taskBoard{claimed: make([]atomic.Bool, n)}
-	b.left.Store(int64(n))
-	return b
+func newEngine(name string, p *Pool, tasks []Task) *engine {
+	n := len(tasks)
+	e := &engine{
+		name:       name,
+		p:          p,
+		byID:       make([]Task, n),
+		claimed:    make([]bool, n),
+		left:       n,
+		cur:        make([]int, p.Size()),
+		execStart:  make([]sim.Time, p.Size()),
+		idle:       make([]bool, p.Size()),
+		clones:     make([]int, n),
+		firstStart: make([]sim.Time, n),
+	}
+	for _, t := range tasks {
+		if t.ID < 0 || t.ID >= n || t.Units < 1 {
+			panic(fmt.Sprintf("cluster: invalid task %+v in a set of %d", t, n))
+		}
+		e.byID[t.ID] = t
+	}
+	for i := range e.cur {
+		e.cur[i] = -1
+	}
+	for i := range e.firstStart {
+		e.firstStart[i] = -1
+	}
+	return e
 }
 
-// execute runs task t on worker w, aborting early if another execution
-// claims it first. It returns true if this execution won. Every scheduler
-// funnels task executions through here, so this is also the single span
-// touch point for the whole cluster runtime.
-func (b *taskBoard) execute(w *Worker, t Task) bool {
-	var span trace.SpanID
-	if w.tracer != nil {
-		span = w.tracer.BeginArg(w.track, "task", "cluster", 0, w.traceNow(), int64(t.ID))
+// contiguousQueues splits tasks into per-worker contiguous equal-count
+// chunks.
+func contiguousQueues(tasks []Task, n int) [][]Task {
+	qs := make([][]Task, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(tasks) / n
+		hi := (i + 1) * len(tasks) / n
+		qs[i] = append([]Task(nil), tasks[lo:hi]...)
 	}
-	ran := w.runUnits(t.Units, func() bool { return b.claimed[t.ID].Load() })
-	w.tasksDone.Add(1)
-	if w.tracer != nil {
-		w.tracer.End(span, w.traceNow())
-	}
-	if ran < t.Units || !b.claimed[t.ID].CompareAndSwap(false, true) {
-		b.wasted.Add(int64(ran))
-		return false
-	}
-	b.left.Add(-1)
-	return true
+	return qs
 }
 
-func (b *taskBoard) done() bool { return b.left.Load() == 0 }
-
-func perWorkerUnits(p *Pool, before []int64) []int64 {
-	out := make([]int64, p.Size())
-	for i, w := range p.Workers() {
-		out[i] = w.UnitsDone() - before[i]
+// run drives the job to completion on the pool's simulator.
+func (e *engine) run() Report {
+	s := e.p.sim
+	e.start = s.Now()
+	e.startUnits = snapshotUnits(e.p)
+	if e.left == 0 {
+		e.doneAt = e.start
+		e.finished = true
+	} else {
+		for _, w := range e.p.workers {
+			w.finish = e.onFinish
+		}
+		for i := range e.p.workers {
+			e.dispatch(i)
+		}
+		if e.monitor != nil {
+			var tick func()
+			tick = func() {
+				if e.finished {
+					return
+				}
+				e.monitor()
+				if !e.finished {
+					s.After(e.monitorPeriod, tick)
+				}
+			}
+			s.After(e.monitorPeriod, tick)
+		}
+		s.Run()
+		for _, w := range e.p.workers {
+			w.finish = nil
+		}
+		if !e.finished {
+			panic(fmt.Sprintf(
+				"cluster: %s job stalled with %d of %d tasks unclaimed (a fully stalled worker holds work no policy will replicate)",
+				e.name, e.left, len(e.byID)))
+		}
 	}
-	return out
+	return Report{
+		Scheduler:      e.name,
+		Makespan:       e.doneAt - e.start,
+		Tasks:          len(e.byID),
+		PerWorkerUnits: perWorkerUnits(e.p, e.startUnits),
+		WastedUnits:    e.wasted,
+		Duplicates:     e.dups,
+	}
 }
 
-func snapshotUnits(p *Pool) []int64 {
-	out := make([]int64, p.Size())
-	for i, w := range p.Workers() {
-		out[i] = w.UnitsDone()
+// dispatch hands worker w its next task per the policy, or idles it.
+func (e *engine) dispatch(w int) {
+	if e.finished {
+		return
 	}
-	return out
+	t, ok := e.next(w)
+	if !ok {
+		e.idle[w] = true
+		return
+	}
+	e.idle[w] = false
+	e.cur[w] = t.ID
+	now := e.p.sim.Now()
+	e.execStart[w] = now
+	if e.firstStart[t.ID] < 0 {
+		e.firstStart[t.ID] = now
+	}
+	e.p.workers[w].exec(float64(t.Units))
+}
+
+// wake re-dispatches idle workers (lowest id first) after new work
+// appears: a monitor requeue or a backlog migration.
+func (e *engine) wake() {
+	for i := range e.p.workers {
+		if e.finished {
+			return
+		}
+		if e.idle[i] {
+			e.dispatch(i)
+		}
+	}
+}
+
+// onFinish settles one completed execution: first finisher claims the
+// task, later replicas count as waste, and the worker is re-dispatched.
+func (e *engine) onFinish(w *Worker) {
+	i := w.id
+	id := e.cur[i]
+	e.cur[i] = -1
+	if !e.claimed[id] {
+		e.claimed[id] = true
+		e.left--
+		e.durations = append(e.durations, e.p.sim.Now()-e.execStart[i])
+		if e.left == 0 {
+			e.complete()
+			return
+		}
+	} else {
+		e.wasted += float64(e.byID[id].Units)
+	}
+	e.dispatch(i)
+}
+
+// complete records the makespan, charges in-flight duplicates' partial
+// progress to waste, and stops the simulator.
+func (e *engine) complete() {
+	e.doneAt = e.p.sim.Now()
+	e.finished = true
+	for i, w := range e.p.workers {
+		if e.cur[i] >= 0 {
+			e.wasted += w.st.ServedInCurrent()
+		}
+	}
+	e.p.sim.Stop()
+}
+
+// popOwn pops worker w's next unclaimed task from its own queue.
+func (e *engine) popOwn(w int) (Task, bool) {
+	for e.qhead[w] < len(e.queues[w]) {
+		t := e.queues[w][e.qhead[w]]
+		e.qhead[w]++
+		if e.claimed[t.ID] {
+			continue
+		}
+		return t, true
+	}
+	return Task{}, false
+}
+
+// popPending pops the next unclaimed task from the central queue.
+func (e *engine) popPending() (Task, bool) {
+	for e.phead < len(e.pending) {
+		t := e.pending[e.phead]
+		e.phead++
+		if e.claimed[t.ID] {
+			continue
+		}
+		return t, true
+	}
+	return Task{}, false
+}
+
+// cloneOldest picks the oldest-started unclaimed in-flight task with
+// clone budget remaining (ties broken by task ID), charging the budget.
+func (e *engine) cloneOldest() (Task, bool) {
+	best := -1
+	for id := range e.byID {
+		if e.firstStart[id] < 0 || e.claimed[id] || e.clones[id] >= e.maxClones {
+			continue
+		}
+		if best < 0 || e.firstStart[id] < e.firstStart[best] {
+			best = id
+		}
+	}
+	if best < 0 {
+		return Task{}, false
+	}
+	e.clones[best]++
+	e.dups++
+	return e.byID[best], true
+}
+
+// meanUnits is the average task size, the natural time scale for probe
+// sizes and monitor periods.
+func meanUnits(tasks []Task) float64 {
+	if len(tasks) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, t := range tasks {
+		total += float64(t.Units)
+	}
+	return total / float64(len(tasks))
 }
 
 // StaticPartition divides the task list into contiguous equal-count
@@ -118,29 +332,82 @@ func (StaticPartition) Name() string { return "static-partition" }
 
 // Run implements Scheduler.
 func (StaticPartition) Run(p *Pool, tasks []Task) Report {
-	board := newTaskBoard(len(tasks))
-	before := snapshotUnits(p)
-	start := time.Now()
-	var wg sync.WaitGroup
+	e := newEngine("static-partition", p, tasks)
+	e.queues = contiguousQueues(tasks, p.Size())
+	e.qhead = make([]int, p.Size())
+	e.next = e.popOwn
+	return e.run()
+}
+
+// GaugedPartition is the scenario-2 analogue for compute: measure each
+// worker's speed once with a probe task, then partition proportionally.
+// Correct for static speed differences, broken by anything dynamic.
+type GaugedPartition struct {
+	// ProbeUnits is the per-worker microbenchmark size (default: a
+	// quarter of the mean task size, at least one unit).
+	ProbeUnits int
+}
+
+// Name implements Scheduler.
+func (GaugedPartition) Name() string { return "gauged-partition" }
+
+// Run implements Scheduler.
+func (g GaugedPartition) Run(p *Pool, tasks []Task) Report {
+	probe := g.ProbeUnits
+	if probe <= 0 {
+		probe = int(meanUnits(tasks) / 4)
+		if probe < 1 {
+			probe = 1
+		}
+	}
+	// Gauge all workers concurrently; probe work is real work the gauge
+	// pays for (it counts toward units done, not toward the makespan —
+	// the job is timed from the post-gauge partition, as an install-time
+	// microbenchmark would be).
+	s := p.sim
 	n := p.Size()
-	for i, w := range p.Workers() {
-		lo := i * len(tasks) / n
-		hi := (i + 1) * len(tasks) / n
-		wg.Add(1)
-		go func(w *Worker, chunk []Task) {
-			defer wg.Done()
-			for _, t := range chunk {
-				board.execute(w, t)
+	speeds := make([]float64, n)
+	t0 := s.Now()
+	remaining := n
+	for _, w := range p.workers {
+		w.finish = func(w *Worker) {
+			speeds[w.id] = float64(probe) / (s.Now() - t0)
+			remaining--
+			if remaining == 0 {
+				s.Stop()
 			}
-		}(w, tasks[lo:hi])
+		}
 	}
-	wg.Wait()
-	return Report{
-		Scheduler:      "static-partition",
-		Makespan:       time.Since(start),
-		Tasks:          len(tasks),
-		PerWorkerUnits: perWorkerUnits(p, before),
+	for _, w := range p.workers {
+		w.exec(float64(probe))
 	}
+	s.Run()
+	for _, w := range p.workers {
+		w.finish = nil
+	}
+	if remaining != 0 {
+		panic("cluster: gauged-partition probe stalled (a probed worker never finished)")
+	}
+
+	// Proportional contiguous split by measured speed.
+	total := 0.0
+	for _, sp := range speeds {
+		total += sp
+	}
+	e := newEngine("gauged-partition", p, tasks)
+	e.queues = make([][]Task, n)
+	e.qhead = make([]int, n)
+	idx := 0
+	for i := range p.workers {
+		count := int(float64(len(tasks)) * speeds[i] / total)
+		if i == n-1 || idx+count > len(tasks) {
+			count = len(tasks) - idx
+		}
+		e.queues[i] = append([]Task(nil), tasks[idx:idx+count]...)
+		idx += count
+	}
+	e.next = e.popOwn
+	return e.run()
 }
 
 // WorkQueue is the River-style central queue: every idle worker pulls the
@@ -153,176 +420,69 @@ func (WorkQueue) Name() string { return "work-queue" }
 
 // Run implements Scheduler.
 func (WorkQueue) Run(p *Pool, tasks []Task) Report {
-	board := newTaskBoard(len(tasks))
-	before := snapshotUnits(p)
-	start := time.Now()
-	ch := make(chan Task, len(tasks))
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	var wg sync.WaitGroup
-	for _, w := range p.Workers() {
-		wg.Add(1)
-		go func(w *Worker) {
-			defer wg.Done()
-			for t := range ch {
-				board.execute(w, t)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return Report{
-		Scheduler:      "work-queue",
-		Makespan:       time.Since(start),
-		Tasks:          len(tasks),
-		PerWorkerUnits: perWorkerUnits(p, before),
-	}
+	e := newEngine("work-queue", p, tasks)
+	e.pending = tasks
+	e.next = func(w int) (Task, bool) { return e.popPending() }
+	return e.run()
 }
 
-// speculative is the shared engine behind Hedged and Reissue: a pull
+// speculative is the shared policy behind Hedged and Reissue: a pull
 // queue plus a duplication rule. cloneWhenIdle clones the oldest
 // unclaimed in-flight task when a worker has nothing else to do (hedged
-// tail execution); cloneOnTimeout watches in-flight ages and requeues
-// tasks that exceed factor x the median completed duration (Shasha-Turek
-// slow-down reissue). MaxClones bounds duplication per task.
+// tail execution); a positive timeoutFactor additionally monitors
+// in-flight ages and requeues tasks exceeding factor x the median
+// completed duration (Shasha-Turek slow-down reissue). maxClones bounds
+// duplication per task.
 type speculative struct {
-	name           string
-	cloneWhenIdle  bool
-	cloneOnTimeout bool
-	timeoutFactor  float64
-	maxClones      int
+	name          string
+	timeoutFactor float64
+	checkEvery    sim.Duration
+	maxClones     int
 }
 
-type inflightEntry struct {
-	task    Task
-	started time.Time
-	clones  int
-}
-
-func (s speculative) Run(p *Pool, tasks []Task) Report {
-	board := newTaskBoard(len(tasks))
-	before := snapshotUnits(p)
-	start := time.Now()
-
-	var mu sync.Mutex
-	pending := make([]Task, len(tasks))
-	copy(pending, tasks)
-	inflight := make(map[int]*inflightEntry)
-	var durations []float64 // seconds of completed executions
-
-	// next returns the next task to run, or ok=false when the runner
-	// should exit (everything claimed or soon will be).
-	next := func() (Task, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		for len(pending) > 0 {
-			t := pending[0]
-			pending = pending[1:]
-			if board.claimed[t.ID].Load() {
-				continue
-			}
-			if inflight[t.ID] == nil {
-				inflight[t.ID] = &inflightEntry{task: t, started: time.Now()}
-			}
-			// A pending entry that is already in flight is a monitor
-			// requeue; its clone budget was charged when it was enqueued.
+func (sp speculative) Run(p *Pool, tasks []Task) Report {
+	e := newEngine(sp.name, p, tasks)
+	e.pending = append([]Task(nil), tasks...)
+	e.cloneWhenIdle = true
+	e.maxClones = sp.maxClones
+	e.next = func(w int) (Task, bool) {
+		if t, ok := e.popPending(); ok {
 			return t, true
 		}
-		if s.cloneWhenIdle {
-			// Clone the oldest unclaimed in-flight task with clone budget.
-			var best *inflightEntry
-			for _, e := range inflight {
-				if board.claimed[e.task.ID].Load() || e.clones >= s.maxClones {
+		return e.cloneOldest()
+	}
+	if sp.timeoutFactor > 0 {
+		period := sp.checkEvery
+		if period <= 0 {
+			period = meanUnits(tasks) * p.quantum / 4
+		}
+		e.monitorPeriod = period
+		e.medScratch = make([]float64, 0, len(tasks))
+		e.monitor = func() {
+			if len(e.durations) < 3 {
+				return
+			}
+			med := stats.MedianInPlace(append(e.medScratch[:0], e.durations...))
+			limit := sp.timeoutFactor * med
+			now := p.sim.Now()
+			requeued := false
+			for id := range e.byID {
+				if e.firstStart[id] < 0 || e.claimed[id] || e.clones[id] >= e.maxClones {
 					continue
 				}
-				if best == nil || e.started.Before(best.started) {
-					best = e
+				if now-e.firstStart[id] > limit {
+					e.clones[id]++
+					e.dups++
+					e.pending = append(e.pending, e.byID[id])
+					requeued = true
 				}
 			}
-			if best != nil {
-				best.clones++
-				board.dups.Add(1)
-				return best.task, true
+			if requeued {
+				e.wake()
 			}
 		}
-		return Task{}, false
 	}
-
-	finish := func(t Task, won bool, took time.Duration) {
-		mu.Lock()
-		defer mu.Unlock()
-		if won {
-			durations = append(durations, took.Seconds())
-			delete(inflight, t.ID)
-		}
-	}
-
-	stop := make(chan struct{})
-	if s.cloneOnTimeout {
-		go func() {
-			tick := time.NewTicker(p.Quantum() * 10)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					mu.Lock()
-					if len(durations) >= 3 {
-						// durations is append-only and only consumed here,
-						// so the in-place median may freely reorder it.
-						med := stats.MedianInPlace(durations)
-						limit := time.Duration(s.timeoutFactor * med * float64(time.Second))
-						for _, e := range inflight {
-							if e.clones < s.maxClones &&
-								!board.claimed[e.task.ID].Load() &&
-								time.Since(e.started) > limit {
-								e.clones++
-								board.dups.Add(1)
-								pending = append(pending, e.task)
-							}
-						}
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-
-	var wg sync.WaitGroup
-	for _, w := range p.Workers() {
-		wg.Add(1)
-		go func(w *Worker) {
-			defer wg.Done()
-			for {
-				if board.done() {
-					return
-				}
-				t, ok := next()
-				if !ok {
-					if board.done() {
-						return
-					}
-					time.Sleep(p.Quantum())
-					continue
-				}
-				t0 := time.Now()
-				won := board.execute(w, t)
-				finish(t, won, time.Since(t0))
-			}
-		}(w)
-	}
-	wg.Wait()
-	close(stop)
-	return Report{
-		Scheduler:      s.name,
-		Makespan:       time.Since(start),
-		Tasks:          len(tasks),
-		PerWorkerUnits: perWorkerUnits(p, before),
-		WastedUnits:    board.wasted.Load(),
-		Duplicates:     board.dups.Load(),
-	}
+	return e.run()
 }
 
 // Hedged is a work queue with tail cloning: when the queue is empty, idle
@@ -342,17 +502,20 @@ func (h Hedged) Run(p *Pool, tasks []Task) Report {
 	if mc <= 0 {
 		mc = 1
 	}
-	return speculative{name: "hedged", cloneWhenIdle: true, maxClones: mc}.Run(p, tasks)
+	return speculative{name: "hedged", maxClones: mc}.Run(p, tasks)
 }
 
 // Reissue implements Shasha & Turek's response to slow-down failures:
 // monitor in-flight executions, and when one exceeds TimeoutFactor x the
-// median completed duration, issue the work again elsewhere; an atomic
+// median completed duration, issue the work again elsewhere; the
 // completion claim reconciles duplicates. Unlike Hedged it acts even
 // while other work remains, trading duplication for tail latency.
 type Reissue struct {
 	TimeoutFactor float64
 	MaxClones     int
+	// CheckEvery is the monitor's virtual-time period (default: a quarter
+	// of the mean task's nominal duration).
+	CheckEvery sim.Duration
 }
 
 // Name implements Scheduler.
@@ -369,8 +532,7 @@ func (r Reissue) Run(p *Pool, tasks []Task) Report {
 		mc = 1
 	}
 	return speculative{
-		name: "reissue", cloneWhenIdle: true, cloneOnTimeout: true,
-		timeoutFactor: tf, maxClones: mc,
+		name: "reissue", timeoutFactor: tf, checkEvery: r.CheckEvery, maxClones: mc,
 	}.Run(p, tasks)
 }
 
@@ -381,8 +543,9 @@ func (r Reissue) Run(p *Pool, tasks []Task) Report {
 // demonstrates the model's detect -> notify -> adapt loop rather than
 // relying on pull-based placement.
 type DetectAvoid struct {
-	// SampleEvery is the detector's sampling period (default 10 quanta).
-	SampleEvery time.Duration
+	// SampleEvery is the detector's virtual-time sampling period
+	// (default: a quarter of the mean task's nominal duration).
+	SampleEvery sim.Duration
 	// Threshold is the peer-relative rate fraction below which a worker
 	// is flagged (default 0.5).
 	Threshold float64
@@ -399,130 +562,70 @@ func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
 	}
 	sample := d.SampleEvery
 	if sample <= 0 {
-		sample = 10 * p.Quantum()
+		sample = meanUnits(tasks) * p.quantum / 4
 	}
-	board := newTaskBoard(len(tasks))
-	before := snapshotUnits(p)
-	start := time.Now()
-
 	n := p.Size()
-	var mu sync.Mutex
-	queues := make([][]Task, n)
-	for i := range queues {
-		lo := i * len(tasks) / n
-		hi := (i + 1) * len(tasks) / n
-		queues[i] = append(queues[i], tasks[lo:hi]...)
-	}
+	e := newEngine("detect-avoid", p, tasks)
+	e.queues = contiguousQueues(tasks, n)
+	e.qhead = make([]int, n)
+	e.next = e.popOwn
+
 	flagged := make([]bool, n)
 	slowStreak := make([]int, n)
-
-	pop := func(i int) (Task, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if len(queues[i]) == 0 {
-			return Task{}, false
+	last := snapshotUnits(p)
+	rates := make([]float64, n)
+	medScratch := make([]float64, n)
+	e.monitorPeriod = sample
+	e.monitor = func() {
+		for i, w := range p.workers {
+			cur := w.UnitsDone()
+			rates[i] = cur - last[i]
+			last[i] = cur
 		}
-		t := queues[i][0]
-		queues[i] = queues[i][1:]
-		return t, true
-	}
-
-	// Detector: peer-relative throughput comparison, exactly the
-	// PeerSet policy but on wall-clock counters.
-	stop := make(chan struct{})
-	go func() {
-		last := snapshotUnits(p)
-		rates := make([]float64, n)
-		medScratch := make([]float64, n)
-		tick := time.NewTicker(sample)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				cur := snapshotUnits(p)
-				for i := range rates {
-					rates[i] = float64(cur[i] - last[i])
-				}
-				last = cur
-				// rates must stay index-aligned with the workers below, so
-				// the in-place median works on a reused scratch copy.
-				med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
-				if med <= 0 {
-					continue
-				}
-				mu.Lock()
-				for i := range rates {
-					if flagged[i] {
-						continue
-					}
-					// Require consecutive slow samples with a real backlog
-					// before flagging: single-sample noise (and workers
-					// that simply finished) must not trigger migration.
-					if rates[i] >= thr*med || len(queues[i]) == 0 {
-						slowStreak[i] = 0
-						continue
-					}
-					slowStreak[i]++
-					if slowStreak[i] < 2 {
-						continue
-					}
-					flagged[i] = true
-					// Migrate the stutterer's backlog to healthy workers,
-					// round-robin. With no healthy destination the backlog
-					// stays put — a degraded worker is still better than
-					// no worker.
-					var dsts []int
-					for d := 0; d < n; d++ {
-						if d != i && !flagged[d] {
-							dsts = append(dsts, d)
-						}
-					}
-					if len(dsts) > 0 {
-						backlog := queues[i]
-						queues[i] = nil
-						for j, t := range backlog {
-							dst := dsts[j%len(dsts)]
-							queues[dst] = append(queues[dst], t)
-						}
-					}
-					break // at most one migration per tick keeps this simple
-				}
-				mu.Unlock()
-			}
+		// rates must stay index-aligned with the workers below, so the
+		// in-place median works on a reused scratch copy.
+		med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
+		if med <= 0 {
+			return
 		}
-	}()
-
-	var wg sync.WaitGroup
-	for i, w := range p.Workers() {
-		wg.Add(1)
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			for {
-				t, ok := pop(i)
-				if !ok {
-					if board.done() {
-						return
-					}
-					// Idle but the job is unfinished (e.g. a flagged
-					// worker still holds work, or migration is pending):
-					// nap briefly and re-check.
-					time.Sleep(p.Quantum())
-					continue
-				}
-				board.execute(w, t)
+		for i := range rates {
+			if flagged[i] {
+				continue
 			}
-		}(i, w)
+			// Require consecutive slow samples with a real backlog before
+			// flagging: a single divergent sample (and workers that simply
+			// finished) must not trigger migration.
+			if rates[i] >= thr*med || e.qhead[i] == len(e.queues[i]) {
+				slowStreak[i] = 0
+				continue
+			}
+			slowStreak[i]++
+			if slowStreak[i] < 2 {
+				continue
+			}
+			flagged[i] = true
+			// Migrate the stutterer's backlog to healthy workers,
+			// round-robin. With no healthy destination the backlog stays
+			// put — a degraded worker is still better than no worker.
+			var dsts []int
+			for dst := 0; dst < n; dst++ {
+				if dst != i && !flagged[dst] {
+					dsts = append(dsts, dst)
+				}
+			}
+			if len(dsts) > 0 {
+				backlog := e.queues[i][e.qhead[i]:]
+				e.queues[i] = e.queues[i][:e.qhead[i]]
+				for j, t := range backlog {
+					dst := dsts[j%len(dsts)]
+					e.queues[dst] = append(e.queues[dst], t)
+				}
+				e.wake()
+			}
+			return // at most one migration per tick keeps this simple
+		}
 	}
-	wg.Wait()
-	close(stop)
-	return Report{
-		Scheduler:      "detect-avoid",
-		Makespan:       time.Since(start),
-		Tasks:          len(tasks),
-		PerWorkerUnits: perWorkerUnits(p, before),
-	}
+	return e.run()
 }
 
 // Schedulers returns the standard comparison set used by the experiments,
@@ -535,74 +638,6 @@ func Schedulers() []Scheduler {
 		Hedged{},
 		Reissue{},
 		DetectAvoid{},
-	}
-}
-
-// GaugedPartition is the scenario-2 analogue for compute: measure each
-// worker's speed once with a probe task, then partition proportionally.
-// Correct for static speed differences, broken by anything dynamic.
-type GaugedPartition struct {
-	// ProbeUnits is the per-worker microbenchmark size (default 20).
-	ProbeUnits int
-}
-
-// Name implements Scheduler.
-func (GaugedPartition) Name() string { return "gauged-partition" }
-
-// Run implements Scheduler.
-func (g GaugedPartition) Run(p *Pool, tasks []Task) Report {
-	probe := g.ProbeUnits
-	if probe <= 0 {
-		probe = 20
-	}
-	// Gauge all workers in parallel.
-	speeds := make([]float64, p.Size())
-	var gw sync.WaitGroup
-	for i, w := range p.Workers() {
-		gw.Add(1)
-		go func(i int, w *Worker) {
-			defer gw.Done()
-			t0 := time.Now()
-			w.runUnits(probe, nil)
-			speeds[i] = float64(probe) / time.Since(t0).Seconds()
-		}(i, w)
-	}
-	gw.Wait()
-
-	board := newTaskBoard(len(tasks))
-	before := snapshotUnits(p)
-	start := time.Now()
-	// Proportional contiguous split by measured speed.
-	total := 0.0
-	for _, s := range speeds {
-		total += s
-	}
-	var wg sync.WaitGroup
-	idx := 0
-	for i, w := range p.Workers() {
-		count := int(float64(len(tasks)) * speeds[i] / total)
-		if i == p.Size()-1 {
-			count = len(tasks) - idx
-		}
-		if idx+count > len(tasks) {
-			count = len(tasks) - idx
-		}
-		chunk := tasks[idx : idx+count]
-		idx += count
-		wg.Add(1)
-		go func(w *Worker, chunk []Task) {
-			defer wg.Done()
-			for _, t := range chunk {
-				board.execute(w, t)
-			}
-		}(w, chunk)
-	}
-	wg.Wait()
-	return Report{
-		Scheduler:      "gauged-partition",
-		Makespan:       time.Since(start),
-		Tasks:          len(tasks),
-		PerWorkerUnits: perWorkerUnits(p, before),
 	}
 }
 

@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"math"
 	"testing"
-	"time"
+
+	"failstutter/internal/sim"
 )
 
-func sumUnits(r Report) int64 {
-	var s int64
+func sumUnits(r Report) float64 {
+	var s float64
 	for _, u := range r.PerWorkerUnits {
 		s += u
 	}
@@ -26,41 +28,51 @@ func TestUniformTasks(t *testing.T) {
 }
 
 func TestStaticPartitionCompletesAll(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	tasks := UniformTasks(40, 5)
 	r := StaticPartition{}.Run(p, tasks)
 	if r.Tasks != 40 {
 		t.Fatalf("tasks = %d", r.Tasks)
 	}
 	if got := sumUnits(r); got != 200 {
-		t.Fatalf("units executed = %d, want 200", got)
+		t.Fatalf("units executed = %v, want 200", got)
 	}
 	if r.WastedUnits != 0 || r.Duplicates != 0 {
-		t.Fatalf("static run wasted %d / dup %d", r.WastedUnits, r.Duplicates)
+		t.Fatalf("static run wasted %v / dup %d", r.WastedUnits, r.Duplicates)
+	}
+	// 10 tasks of 5 units per worker, all healthy: exactly 50q.
+	if !near(r.Makespan, 50*q) {
+		t.Fatalf("makespan = %v, want %v", r.Makespan, 50*q)
 	}
 }
 
 func TestWorkQueueCompletesAll(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	r := WorkQueue{}.Run(p, UniformTasks(40, 5))
 	if got := sumUnits(r); got != 200 {
-		t.Fatalf("units executed = %d, want 200", got)
+		t.Fatalf("units executed = %v, want 200", got)
 	}
 }
 
-// The paper's headline compute claim (NOW-Sort, E15): one slow node halves
-// a statically partitioned job, while a pull-based design sheds the
-// imbalance.
+// The paper's headline compute claim (NOW-Sort, E15): one slow node
+// roughly halves a statically partitioned job, while a pull-based design
+// sheds the imbalance.
 func TestWorkQueueBeatsStaticUnderSlowWorker(t *testing.T) {
-	run := func(s Scheduler) time.Duration {
-		p := NewPool(4, q)
+	run := func(sched Scheduler) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 4, q)
 		p.Workers()[0].SetSpeed(0.2)
-		// Tasks must cost well over the ~1 ms sleep floor at nominal
-		// speed, or the floor flattens every speed ratio.
-		return s.Run(p, UniformTasks(60, 40)).Makespan
+		return sched.Run(p, UniformTasks(60, 40)).Makespan
 	}
 	static := run(StaticPartition{})
 	queue := run(WorkQueue{})
+	// Static is gated by the slow worker's full share: exactly
+	// 15 tasks x 40 units / 0.2 speed.
+	if !near(static, 15*40*q/0.2) {
+		t.Fatalf("static makespan = %v, want %v", static, 15*40*q/0.2)
+	}
 	if queue*2 > static {
 		t.Fatalf("work queue %v not clearly faster than static %v under a slow worker",
 			queue, static)
@@ -68,10 +80,11 @@ func TestWorkQueueBeatsStaticUnderSlowWorker(t *testing.T) {
 }
 
 func TestGaugedPartitionHandlesStaticSkew(t *testing.T) {
-	run := func(s Scheduler) time.Duration {
-		p := NewPool(4, q)
+	run := func(sched Scheduler) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 4, q)
 		p.Workers()[0].SetSpeed(0.25)
-		return s.Run(p, UniformTasks(60, 40)).Makespan
+		return sched.Run(p, UniformTasks(60, 40)).Makespan
 	}
 	static := run(StaticPartition{})
 	gauged := run(GaugedPartition{ProbeUnits: 40})
@@ -82,36 +95,28 @@ func TestGaugedPartitionHandlesStaticSkew(t *testing.T) {
 }
 
 func TestHedgedClonesTail(t *testing.T) {
-	// One worker stalls completely mid-run. Hedged must still finish (the
-	// stranded task is cloned; the stalled execution aborts on claim).
-	p := NewPool(4, q)
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		p.Workers()[0].SetSpeed(0)
-	}()
-	done := make(chan Report, 1)
-	go func() { done <- Hedged{}.Run(p, UniformTasks(60, 10)) }()
-	select {
-	case r := <-done:
-		if r.Duplicates == 0 {
-			t.Fatal("hedged run cloned nothing despite a stalled worker")
-		}
-		p.Workers()[0].SetSpeed(1) // release the aborting goroutine
-	case <-time.After(10 * time.Second):
-		t.Fatal("hedged run hung on a stalled worker")
+	// One worker stalls completely mid-run. Hedged must still finish: the
+	// stranded task is cloned elsewhere and the stalled execution's
+	// partial progress is flushed to waste at completion.
+	s := sim.New()
+	p := NewPool(s, 4, q)
+	s.After(5e-3, func() { p.Workers()[0].SetSpeed(0) })
+	r := Hedged{}.Run(p, UniformTasks(60, 10))
+	if r.Duplicates == 0 {
+		t.Fatal("hedged run cloned nothing despite a stalled worker")
+	}
+	if got, want := sumUnits(r), 600+r.WastedUnits; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("executed %v != required 600 + wasted %v", got, r.WastedUnits)
 	}
 }
 
 func TestReissueBeatsWorkQueueUnderMidJobStall(t *testing.T) {
-	run := func(s Scheduler) time.Duration {
-		p := NewPool(4, q)
-		// Worker 0 drops to 2% speed 10 ms in and stays degraded.
-		go func() {
-			time.Sleep(10 * time.Millisecond)
-			p.Workers()[0].SetSpeed(0.02)
-		}()
-		r := s.Run(p, UniformTasks(60, 20))
-		return r.Makespan
+	run := func(sched Scheduler) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 4, q)
+		// Worker 0 drops to 2% speed 10 virtual ms in and stays degraded.
+		s.After(10e-3, func() { p.Workers()[0].SetSpeed(0.02) })
+		return sched.Run(p, UniformTasks(60, 20)).Makespan
 	}
 	queue := run(WorkQueue{})
 	reissue := run(Reissue{TimeoutFactor: 3})
@@ -122,25 +127,23 @@ func TestReissueBeatsWorkQueueUnderMidJobStall(t *testing.T) {
 }
 
 func TestReissueExactlyOnceAccounting(t *testing.T) {
-	p := NewPool(4, q)
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		p.Workers()[0].SetSpeed(0.05)
-	}()
-	totalUnits := int64(60 * 10)
+	s := sim.New()
+	p := NewPool(s, 4, q)
+	s.After(5e-3, func() { p.Workers()[0].SetSpeed(0.05) })
 	r := Reissue{TimeoutFactor: 2}.Run(p, UniformTasks(60, 10))
-	p.Workers()[0].SetSpeed(1)
-	// Work conservation: executed units = required units + wasted units.
-	if got := sumUnits(r); got != totalUnits+r.WastedUnits {
-		t.Fatalf("executed %d != required %d + wasted %d", got, totalUnits, r.WastedUnits)
+	// Work conservation: executed units = required units + wasted units
+	// (to float rounding — partial progress is flushed at completion).
+	if got, want := sumUnits(r), 600+r.WastedUnits; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("executed %v != required 600 + wasted %v", got, r.WastedUnits)
 	}
 }
 
 func TestDetectAvoidMigratesFromStutterer(t *testing.T) {
-	run := func(s Scheduler) time.Duration {
-		p := NewPool(4, q)
+	run := func(sched Scheduler) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 4, q)
 		p.Workers()[0].SetSpeed(0.1)
-		return s.Run(p, UniformTasks(60, 40)).Makespan
+		return sched.Run(p, UniformTasks(60, 40)).Makespan
 	}
 	static := run(StaticPartition{})
 	da := run(DetectAvoid{})
@@ -150,15 +153,54 @@ func TestDetectAvoidMigratesFromStutterer(t *testing.T) {
 }
 
 func TestDetectAvoidNoFalseMigrationWhenHealthy(t *testing.T) {
-	p := NewPool(4, q)
+	s := sim.New()
+	p := NewPool(s, 4, q)
 	r := DetectAvoid{}.Run(p, UniformTasks(40, 5))
 	if got := sumUnits(r); got != 200 {
-		t.Fatalf("units executed = %d, want 200", got)
+		t.Fatalf("units executed = %v, want 200", got)
 	}
-	// With all workers healthy the split should stay roughly even.
+	// With all workers healthy the split stays exactly even.
 	for i, u := range r.PerWorkerUnits {
-		if u < 20 || u > 80 {
-			t.Fatalf("healthy run units badly skewed: worker %d did %d of 200", i, u)
+		if u != 50 {
+			t.Fatalf("healthy run migrated work: worker %d did %v of 200", i, u)
+		}
+	}
+}
+
+// TestStalledJobPanics: a policy with no replication cannot finish when a
+// worker holding work stalls to speed zero forever — the engine must say
+// so loudly rather than return a bogus report.
+func TestStalledJobPanics(t *testing.T) {
+	s := sim.New()
+	p := NewPool(s, 2, q)
+	p.Workers()[0].SetSpeed(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stalled static job did not panic")
+		}
+	}()
+	StaticPartition{}.Run(p, UniformTasks(4, 5))
+}
+
+// TestSchedulersDeterministic: identical configurations produce bitwise
+// identical reports, including under mid-run faults and speculation.
+func TestSchedulersDeterministic(t *testing.T) {
+	run := func(sched Scheduler) Report {
+		s := sim.New()
+		p := NewPool(s, 4, q)
+		s.After(7e-3, func() { p.Workers()[1].SetSpeed(0.05) })
+		return sched.Run(p, UniformTasks(48, 12))
+	}
+	for _, sched := range Schedulers() {
+		a, b := run(sched), run(sched)
+		if a.Makespan != b.Makespan || a.WastedUnits != b.WastedUnits || a.Duplicates != b.Duplicates {
+			t.Fatalf("%s not deterministic: %+v vs %+v", sched.Name(), a, b)
+		}
+		for i := range a.PerWorkerUnits {
+			if a.PerWorkerUnits[i] != b.PerWorkerUnits[i] {
+				t.Fatalf("%s per-worker units differ at %d: %v vs %v",
+					sched.Name(), i, a.PerWorkerUnits[i], b.PerWorkerUnits[i])
+			}
 		}
 	}
 }
@@ -175,8 +217,8 @@ func TestSchedulersListOrdered(t *testing.T) {
 
 func TestSortReports(t *testing.T) {
 	rs := []Report{
-		{Scheduler: "b", Makespan: 2 * time.Second},
-		{Scheduler: "a", Makespan: time.Second},
+		{Scheduler: "b", Makespan: 2},
+		{Scheduler: "a", Makespan: 1},
 	}
 	SortReports(rs)
 	if rs[0].Scheduler != "a" {

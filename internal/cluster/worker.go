@@ -1,62 +1,58 @@
-// Package cluster implements a real-concurrency (goroutine-based)
-// distributed runtime exhibiting and tolerating fail-stutter faults: a
-// pool of workers with injectable per-worker slowdowns and stalls, five
-// scheduling policies of increasing stutter-awareness (static partition,
-// pull-based work queue, hedged tail execution, Shasha-Turek slow-down
-// reissue, and detect-and-avoid migration), and a replicated hash table
-// whose nodes suffer garbage-collection pauses, after Gribble et al.
+// Package cluster implements a distributed runtime exhibiting and
+// tolerating fail-stutter faults: a pool of workers with injectable
+// per-worker slowdowns and stalls, six scheduling policies of increasing
+// stutter-awareness (static partition, gauged partition, pull-based work
+// queue, hedged tail execution, Shasha-Turek slow-down reissue, and
+// detect-and-avoid migration), a bulk-synchronous computation whose
+// barriers pay the straggler tax, and a replicated hash table whose nodes
+// suffer garbage-collection pauses, after Gribble et al.
 //
-// Unlike the device substrate, nothing here runs on virtual time: workers
-// are goroutines metering work in small real-time quanta, so the
-// algorithms face true concurrency, preemption, and timer noise. All
-// experiment assertions on this package are therefore ratio-based with
-// generous margins.
+// The runtime executes on the internal/sim virtual-time kernel: each
+// worker is a queueing Station whose speed multiplier is the injection
+// point for CPU hogs, stutter, and crashes, and every barrier, completion
+// claim, and replication ack is a simulator event. Runs are therefore
+// deterministic — byte-identical for a given configuration — and scale to
+// thousands of workers without burning an OS thread per node.
 package cluster
 
 import (
 	"fmt"
-	"math"
-	"sync/atomic"
-	"time"
 
+	"failstutter/internal/sim"
 	"failstutter/internal/trace"
 )
 
 // Worker is one compute node: it executes abstract work units, each
-// costing Quantum/speed of wall-clock time. Speed is adjustable at any
-// moment from other goroutines — the injection point for CPU hogs,
-// stutter, and crashes (speed permanently 0 is indistinguishable from a
-// very long stall, matching the model's view that a stall beyond T *is* a
-// failure).
+// costing quantum/speed of virtual time. Speed is adjustable at any
+// moment — the injection point for CPU hogs, stutter, and crashes (speed
+// permanently 0 is indistinguishable from a very long stall, matching the
+// model's view that a stall beyond T *is* a failure).
 type Worker struct {
-	id      int
-	quantum time.Duration
+	id int
+	st *sim.Station
 
-	speedBits atomic.Uint64 // float64 bits
-	unitsDone atomic.Int64
-	tasksDone atomic.Int64
+	// req is the single reusable request for this worker's executions: a
+	// worker serves one task at a time, so the steady-state step path
+	// (exec -> station completion -> dispatch -> exec) allocates nothing.
+	req sim.Request
 
-	// tracer/track/epoch record task spans in wall-clock seconds since
-	// epoch. Plain fields: Pool.SetTracer must be called before a
-	// scheduler's Run spawns worker goroutines (the Tracer itself is
-	// mutex-protected once recording starts).
-	tracer *trace.Tracer
-	track  trace.TrackID
-	epoch  time.Time
+	// doneUnits accumulates the sizes of completed executions; tasksDone
+	// counts them.
+	doneUnits float64
+	tasksDone int64
+
+	// finish, when non-nil, is invoked each time an execution completes —
+	// the dispatch hook a running job installs.
+	finish func(*Worker)
 }
 
-// traceNow returns the worker's trace timestamp: wall-clock seconds since
-// the pool's tracing epoch.
-func (w *Worker) traceNow() float64 { return time.Since(w.epoch).Seconds() }
-
-// NewWorker builds a worker with the given id and work-unit quantum at
-// speed 1.
-func NewWorker(id int, quantum time.Duration) *Worker {
+func newWorker(s *sim.Simulator, id int, quantum sim.Duration) *Worker {
 	if quantum <= 0 {
 		panic("cluster: quantum must be positive")
 	}
-	w := &Worker{id: id, quantum: quantum}
-	w.speedBits.Store(math.Float64bits(1))
+	w := &Worker{id: id}
+	w.st = sim.NewStation(s, fmt.Sprintf("worker-%d", id), 1/quantum)
+	w.req.OnDone = w.reqDone
 	return w
 }
 
@@ -64,101 +60,79 @@ func NewWorker(id int, quantum time.Duration) *Worker {
 func (w *Worker) ID() int { return w.id }
 
 // Speed returns the current speed multiplier.
-func (w *Worker) Speed() float64 { return math.Float64frombits(w.speedBits.Load()) }
+func (w *Worker) Speed() float64 { return w.st.Multiplier() }
 
-// SetSpeed sets the speed multiplier; zero stalls the worker. Negative or
-// non-finite speeds panic.
-func (w *Worker) SetSpeed(s float64) {
-	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-		panic(fmt.Sprintf("cluster: invalid speed %v", s))
+// SetSpeed sets the speed multiplier; zero stalls the worker, preserving
+// progress on the execution in flight. Negative or non-finite speeds
+// panic.
+func (w *Worker) SetSpeed(s float64) { w.st.SetMultiplier(s) }
+
+// UnitsDone returns the cumulative work units executed, including partial
+// progress on the execution in flight — the smooth counter detectors
+// probe.
+func (w *Worker) UnitsDone() float64 { return w.doneUnits + w.st.ServedInCurrent() }
+
+// TasksDone returns completed executions (including executions that later
+// lost the completion race).
+func (w *Worker) TasksDone() int64 { return w.tasksDone }
+
+// Station returns the worker's underlying queueing station.
+func (w *Worker) Station() *sim.Station { return w.st }
+
+// Busy reports whether an execution is in flight.
+func (w *Worker) Busy() bool { return w.st.InService() != nil }
+
+// exec starts an execution of the given number of units. The worker must
+// be idle: jobs dispatch one task at a time per worker.
+func (w *Worker) exec(units float64) {
+	if w.st.InService() != nil {
+		panic(fmt.Sprintf("cluster: worker %d dispatched while busy", w.id))
 	}
-	w.speedBits.Store(math.Float64bits(s))
+	w.req.Size = units
+	w.st.Submit(&w.req)
 }
 
-// UnitsDone returns the cumulative work units executed — the counter
-// detectors probe.
-func (w *Worker) UnitsDone() int64 { return w.unitsDone.Load() }
-
-// TasksDone returns completed task executions (including executions that
-// later lost the completion race).
-func (w *Worker) TasksDone() int64 { return w.tasksDone.Load() }
-
-// minSleep is the shortest span worth handing to time.Sleep: OS timer
-// granularity makes shorter sleeps wildly inaccurate, so sub-minSleep
-// unit costs are accumulated as debt and paid in batches.
-const minSleep = time.Millisecond
-
-// runUnits executes up to units work units, polling abort (if non-nil)
-// and the current speed between units; it returns the number of units
-// actually executed. Per-unit costs below the sleep granularity are
-// batched through a debt accumulator, so wall-clock time tracks
-// units/speed closely without per-unit timer noise. A stalled worker naps
-// in small slices so it notices both speed recovery and aborts promptly.
-func (w *Worker) runUnits(units int, abort func() bool) int {
-	var debt time.Duration
-	pay := func() {
-		if debt > 0 {
-			time.Sleep(debt)
-			debt = 0
-		}
+// reqDone is the station completion callback, bound once at construction.
+func (w *Worker) reqDone(r *sim.Request) {
+	w.doneUnits += r.Size
+	w.tasksDone++
+	if w.finish != nil {
+		w.finish(w)
 	}
-	for u := 0; u < units; u++ {
-		if abort != nil && abort() {
-			pay()
-			return u
-		}
-		sp := w.Speed()
-		for sp == 0 {
-			pay()
-			time.Sleep(minSleep)
-			if abort != nil && abort() {
-				return u
-			}
-			sp = w.Speed()
-		}
-		debt += time.Duration(float64(w.quantum) / sp)
-		if debt >= minSleep {
-			pay()
-		}
-		w.unitsDone.Add(1)
-	}
-	pay()
-	return units
 }
 
-// Pool is a set of workers sharing one quantum.
+// Pool is a set of workers sharing one simulator and work-unit quantum.
 type Pool struct {
+	sim     *sim.Simulator
 	workers []*Worker
-	quantum time.Duration
+	quantum sim.Duration
 }
 
-// NewPool builds n workers with the given quantum.
-func NewPool(n int, quantum time.Duration) *Pool {
+// NewPool builds n workers on the simulator with the given quantum (the
+// virtual time one work unit costs at speed 1).
+func NewPool(s *sim.Simulator, n int, quantum sim.Duration) *Pool {
 	if n < 1 {
 		panic("cluster: pool needs at least one worker")
 	}
-	p := &Pool{quantum: quantum}
+	p := &Pool{sim: s, quantum: quantum}
 	for i := 0; i < n; i++ {
-		p.workers = append(p.workers, NewWorker(i, quantum))
+		p.workers = append(p.workers, newWorker(s, i, quantum))
 	}
 	return p
 }
 
+// Sim returns the simulator the pool runs on.
+func (p *Pool) Sim() *sim.Simulator { return p.sim }
+
 // Workers returns the pool members.
 func (p *Pool) Workers() []*Worker { return p.workers }
 
-// SetTracer attaches a span tracer to every worker, recording each task
-// execution on a "worker-<id>" track in wall-clock seconds since this
-// call. Call before handing the pool to a scheduler: worker goroutines
-// read the tracer field without synchronization.
+// SetTracer attaches a span tracer to every worker's station, recording
+// each execution's queue/service intervals on a "worker-<id>" track in
+// virtual time. A nil tracer detaches.
 func (p *Pool) SetTracer(t *trace.Tracer) {
-	epoch := time.Now()
 	for _, w := range p.workers {
-		w.tracer = t
-		w.epoch = epoch
-		if t != nil {
-			w.track = t.Track(fmt.Sprintf("worker-%d", w.id))
-		}
+		w.st.SetTracer(t)
 	}
 }
 
@@ -166,13 +140,32 @@ func (p *Pool) SetTracer(t *trace.Tracer) {
 func (p *Pool) Size() int { return len(p.workers) }
 
 // Quantum returns the pool's work-unit quantum.
-func (p *Pool) Quantum() time.Duration { return p.quantum }
+func (p *Pool) Quantum() sim.Duration { return p.quantum }
 
-// Hog degrades worker i to the given speed for the given duration, then
-// restores it — the "competing job" interference of the survey's NOW-Sort
-// observation. It returns immediately; the restore happens on a timer.
-func (p *Pool) Hog(i int, speed float64, d time.Duration) {
+// Hog degrades worker i to the given speed for the given virtual
+// duration, then restores it — the "competing job" interference of the
+// survey's NOW-Sort observation. The restore is a simulator event.
+func (p *Pool) Hog(i int, speed float64, d sim.Duration) {
 	w := p.workers[i]
 	w.SetSpeed(speed)
-	time.AfterFunc(d, func() { w.SetSpeed(1) })
+	p.sim.After(d, func() { w.SetSpeed(1) })
+}
+
+// snapshotUnits captures every worker's cumulative units.
+func snapshotUnits(p *Pool) []float64 {
+	out := make([]float64, p.Size())
+	for i, w := range p.workers {
+		out[i] = w.UnitsDone()
+	}
+	return out
+}
+
+// perWorkerUnits returns the units each worker executed since the
+// snapshot.
+func perWorkerUnits(p *Pool, before []float64) []float64 {
+	out := make([]float64, p.Size())
+	for i, w := range p.workers {
+		out[i] = w.UnitsDone() - before[i]
+	}
+	return out
 }

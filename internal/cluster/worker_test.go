@@ -1,103 +1,87 @@
 package cluster
 
 import (
-	"sync/atomic"
+	"math"
 	"testing"
-	"time"
+
+	"failstutter/internal/sim"
 )
 
-const q = 50 * time.Microsecond
+// q is the test work-unit quantum: 50 virtual microseconds per unit.
+const q = sim.Duration(50e-6)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestWorkerExecutesUnits(t *testing.T) {
-	w := NewWorker(0, q)
-	t0 := time.Now()
-	n := w.runUnits(100, nil)
-	elapsed := time.Since(t0)
-	if n != 100 {
-		t.Fatalf("ran %d units", n)
-	}
+	s := sim.New()
+	p := NewPool(s, 1, q)
+	w := p.Workers()[0]
+	w.exec(100)
+	s.Run()
 	if w.UnitsDone() != 100 {
-		t.Fatalf("UnitsDone = %d", w.UnitsDone())
+		t.Fatalf("UnitsDone = %v", w.UnitsDone())
 	}
-	// 100 units at 50us each = 5ms minimum; sleeping overshoots, never
-	// undershoots.
-	if elapsed < 5*time.Millisecond {
-		t.Fatalf("100 units took %v, impossibly fast", elapsed)
+	if w.TasksDone() != 1 {
+		t.Fatalf("TasksDone = %d", w.TasksDone())
+	}
+	// 100 units at 50 virtual microseconds each: exactly 5ms of virtual
+	// time, not "at least" — no sleep overshoot exists here.
+	if !near(s.Now(), 100*q) {
+		t.Fatalf("100 units took %v virtual seconds, want %v", s.Now(), 100*q)
 	}
 }
 
 func TestWorkerSpeedScales(t *testing.T) {
-	slow := NewWorker(0, q)
-	slow.SetSpeed(0.25)
-	fast := NewWorker(1, q)
-	fast.SetSpeed(2)
-	t0 := time.Now()
-	slow.runUnits(50, nil)
-	slowTime := time.Since(t0)
-	t0 = time.Now()
-	fast.runUnits(50, nil)
-	fastTime := time.Since(t0)
-	// Nominal: slow 10ms, fast 1.25ms. Sleep overhead compresses the
-	// ratio; it must still be clearly ordered.
-	if slowTime < 2*fastTime {
-		t.Fatalf("slow %v vs fast %v: speed scaling ineffective", slowTime, fastTime)
+	run := func(speed float64) sim.Duration {
+		s := sim.New()
+		p := NewPool(s, 1, q)
+		p.Workers()[0].SetSpeed(speed)
+		p.Workers()[0].exec(50)
+		s.Run()
+		return s.Now()
+	}
+	slow := run(0.25)
+	fast := run(2)
+	// Exact ratio 8: 50q/0.25 vs 50q/2.
+	if !near(slow, 8*fast) {
+		t.Fatalf("slow %v vs fast %v: want an exact 8x ratio", slow, fast)
 	}
 }
 
 func TestWorkerStallAndResume(t *testing.T) {
-	w := NewWorker(0, q)
+	s := sim.New()
+	p := NewPool(s, 1, q)
+	w := p.Workers()[0]
 	w.SetSpeed(0)
-	done := make(chan struct{})
-	go func() {
-		w.runUnits(10, nil)
-		close(done)
-	}()
-	select {
-	case <-done:
-		t.Fatal("stalled worker made progress")
-	case <-time.After(5 * time.Millisecond):
+	w.exec(10)
+	s.After(1, func() { w.SetSpeed(1) })
+	s.Run()
+	if w.UnitsDone() != 10 {
+		t.Fatalf("UnitsDone = %v after resume", w.UnitsDone())
 	}
-	w.SetSpeed(1)
-	select {
-	case <-done:
-	case <-time.After(time.Second):
-		t.Fatal("worker did not resume")
+	// Stalled for exactly 1 virtual second, then 10 units at full speed.
+	if !near(s.Now(), 1+10*q) {
+		t.Fatalf("stall+resume finished at %v, want %v", s.Now(), 1+10*q)
 	}
 }
 
-func TestWorkerAbort(t *testing.T) {
-	w := NewWorker(0, q)
-	var stop atomic.Bool
-	go func() {
-		time.Sleep(2 * time.Millisecond)
-		stop.Store(true)
-	}()
-	n := w.runUnits(100000, stop.Load)
-	if n >= 100000 {
-		t.Fatal("abort ignored")
+func TestWorkerPartialProgressVisible(t *testing.T) {
+	s := sim.New()
+	p := NewPool(s, 1, q)
+	w := p.Workers()[0]
+	w.exec(100)
+	s.RunUntil(25 * q)
+	if !near(w.UnitsDone(), 25) {
+		t.Fatalf("UnitsDone mid-execution = %v, want 25", w.UnitsDone())
 	}
-}
-
-func TestWorkerAbortWhileStalled(t *testing.T) {
-	w := NewWorker(0, q)
-	w.SetSpeed(0)
-	var stop atomic.Bool
-	done := make(chan int)
-	go func() { done <- w.runUnits(10, stop.Load) }()
-	time.Sleep(2 * time.Millisecond)
-	stop.Store(true)
-	select {
-	case n := <-done:
-		if n != 0 {
-			t.Fatalf("stalled worker ran %d units", n)
-		}
-	case <-time.After(time.Second):
-		t.Fatal("abort did not release stalled worker")
+	if !w.Busy() {
+		t.Fatal("worker not busy mid-execution")
 	}
 }
 
 func TestWorkerInvalidSpeedPanics(t *testing.T) {
-	w := NewWorker(0, q)
+	s := sim.New()
+	w := NewPool(s, 1, q).Workers()[0]
 	defer func() {
 		if recover() == nil {
 			t.Fatal("negative speed did not panic")
@@ -106,15 +90,31 @@ func TestWorkerInvalidSpeedPanics(t *testing.T) {
 	w.SetSpeed(-1)
 }
 
+func TestWorkerDispatchWhileBusyPanics(t *testing.T) {
+	s := sim.New()
+	w := NewPool(s, 1, q).Workers()[0]
+	w.exec(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double dispatch did not panic")
+		}
+	}()
+	w.exec(10)
+}
+
 func TestPoolHogRestores(t *testing.T) {
-	p := NewPool(2, q)
-	p.Hog(1, 0.1, 5*time.Millisecond)
-	if s := p.Workers()[1].Speed(); s != 0.1 {
-		t.Fatalf("hogged speed = %v", s)
+	s := sim.New()
+	p := NewPool(s, 2, q)
+	p.Hog(1, 0.1, 5e-3)
+	if sp := p.Workers()[1].Speed(); sp != 0.1 {
+		t.Fatalf("hogged speed = %v", sp)
 	}
-	time.Sleep(30 * time.Millisecond)
-	if s := p.Workers()[1].Speed(); s != 1 {
-		t.Fatalf("speed after hog = %v", s)
+	s.Run() // fires the restore event
+	if sp := p.Workers()[1].Speed(); sp != 1 {
+		t.Fatalf("speed after hog = %v", sp)
+	}
+	if !near(s.Now(), 5e-3) {
+		t.Fatalf("hog restored at %v, want 5ms", s.Now())
 	}
 }
 
@@ -124,5 +124,45 @@ func TestPoolValidation(t *testing.T) {
 			t.Fatal("empty pool did not panic")
 		}
 	}()
-	NewPool(0, q)
+	NewPool(sim.New(), 0, q)
+}
+
+// TestWorkerStepZeroAlloc pins the steady-state worker step path —
+// exec -> station completion -> finish hook — at zero allocations,
+// matching the Station pipeline discipline.
+func TestWorkerStepZeroAlloc(t *testing.T) {
+	s := sim.New()
+	p := NewPool(s, 1, q)
+	w := p.Workers()[0]
+	step := func() {
+		w.exec(1)
+		s.Run()
+	}
+	step() // warm the simulator arena and heap
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Fatalf("worker step path allocates %v per execution, want 0", n)
+	}
+}
+
+func BenchmarkWorkerStep(b *testing.B) {
+	s := sim.New()
+	p := NewPool(s, 1, q)
+	w := p.Workers()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.exec(1)
+		s.Run()
+	}
+}
+
+// BenchmarkClusterScale shows the design goal the goroutine runtime could
+// not meet: thousands of workers on one OS thread, one event per task.
+func BenchmarkClusterScale(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		p := NewPool(s, 2000, q)
+		WorkQueue{}.Run(p, UniformTasks(10000, 5))
+	}
 }

@@ -2,14 +2,15 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"failstutter/internal/cluster"
+	"failstutter/internal/sim"
 	"failstutter/internal/workload"
 )
 
-// clusterQuantum is the work-unit quantum for the goroutine experiments.
-const clusterQuantum = 50 * time.Microsecond
+// clusterQuantum is the virtual time one work unit (or one DHT operation)
+// costs at node speed 1: 50 microseconds of virtual time.
+const clusterQuantum = sim.Duration(50e-6)
 
 func init() {
 	register(Experiment{
@@ -19,16 +20,14 @@ func init() {
 			"behind its mirror in a replicated update; one machine " +
 			"over-saturates and thus is the bottleneck (Gribble et al., " +
 			"Section 2.2.1)",
-		Run:       runE14,
-		WallClock: true,
+		Run: runE14,
 	})
 	register(Experiment{
 		ID:    "E15",
 		Title: "Distributed sort: one loaded node halves throughput",
 		PaperClaim: "a node with excess CPU load reduces global sorting " +
 			"performance by a factor of two (NOW-Sort, Section 2.2.2)",
-		Run:       runE15,
-		WallClock: true,
+		Run: runE15,
 	})
 	register(Experiment{
 		ID:    "E23",
@@ -37,8 +36,7 @@ func init() {
 			"failures by issuing new processes to do the work elsewhere, " +
 			"reconciling so as to avoid work replication (Shasha & Turek, " +
 			"Section 4)",
-		Run:       runE23,
-		WallClock: true,
+		Run: runE23,
 	})
 	register(Experiment{
 		ID:    "E29",
@@ -46,8 +44,7 @@ func init() {
 		PaperClaim: "particularly vulnerable are systems that make static uses " +
 			"of parallelism, usually assuming that all components perform " +
 			"identically (Section 1; CM-5 parallel applications, Section 2.1.3)",
-		Run:       runE29,
-		WallClock: true,
+		Run: runE29,
 	})
 	register(Experiment{
 		ID:    "E24",
@@ -55,24 +52,26 @@ func init() {
 		PaperClaim: "new adaptive algorithms, which can cope with this more " +
 			"difficult class of failures, must be designed ... and different " +
 			"approaches need to be evaluated (Section 5)",
-		Run:       runE24,
-		WallClock: true,
+		Run: runE24,
 	})
 }
 
+// fmtVirt formats a virtual duration for table display.
+func fmtVirt(d sim.Duration) string { return fmt.Sprintf("%.3fs", d) }
+
 func runE14(cfg Config) *Table {
-	dur := time.Duration(scale(cfg, 300, 1500)) * time.Millisecond
+	dur := sim.Duration(scale(cfg, 300, 1500)) * 1e-3
 	t := NewTable("E14", "DHT under garbage collection",
 		"one GC-ing node bottlenecks synchronous replication; adaptive acks ride it out",
 		"configuration", "puts", "relative", "hinted handoffs")
 	run := func(gc, adaptive bool) (int64, int64) {
-		d := cluster.NewDHT(cluster.DHTParams{
+		s := sim.New()
+		d := cluster.NewDHT(s, cluster.DHTParams{
 			Nodes: 4, Replication: 2, OpQuantum: clusterQuantum,
-			Adaptive: adaptive, SampleEvery: time.Millisecond,
+			Adaptive: adaptive, SampleEvery: 1e-3,
 		})
-		defer d.Stop()
 		if gc {
-			cancel := d.StartGC(0, 40*time.Millisecond, 35*time.Millisecond)
+			cancel := d.StartGC(0, 40e-3, 35e-3)
 			defer cancel()
 		}
 		puts := d.RunLoad(8, dur)
@@ -95,28 +94,25 @@ func runE14(cfg Config) *Table {
 }
 
 // sortTasks builds the distributed-sort task set: partitions of a record
-// space with n log n cost scaling.
+// space with n log n cost scaling. One unit is one record's share of the
+// sort; virtual time has no timer floor, so records map to units 1:1.
 func sortTasks(partitions, recordsPerPartition int) []cluster.Task {
 	tasks := make([]cluster.Task, partitions)
 	for i := range tasks {
 		tasks[i] = cluster.Task{
 			ID:    i,
-			Units: workload.SortUnits(recordsPerPartition, recordsPerPartition) / 100,
-		}
-		if tasks[i].Units < 1 {
-			tasks[i].Units = 1
+			Units: workload.SortUnits(recordsPerPartition, recordsPerPartition),
 		}
 	}
 	return tasks
 }
 
 func runE15(cfg Config) *Table {
-	// Each task must cost several milliseconds at nominal speed: the
-	// worker meters work through ~1 ms sleeps, so sub-millisecond tasks
-	// hit the timer floor and flatten every speed ratio. Totals are sized
-	// so the slowest run takes >= ~100 ms, well above scheduler noise.
-	nTasks := int(scale(cfg, 48, 96))
-	units := int(scale(cfg, 60, 80))
+	// Paper-scale record counts: NOW-Sort partitions a keyspace across
+	// nodes; we sort 2^18 (quick) / 2^20 (full) records in 64 partitions.
+	records := int(scale(cfg, 1<<18, 1<<20))
+	const partitions = 64
+	tasks := func() []cluster.Task { return sortTasks(partitions, records/partitions) }
 	t := NewTable("E15", "Distributed sort with a CPU hog",
 		"static design: 2x slowdown from one loaded node; pull-based sheds it",
 		"scheduler", "no hog", "hog on node 0", "hog slowdown")
@@ -127,27 +123,27 @@ func runE15(cfg Config) *Table {
 		cluster.DetectAvoid{},
 	}
 	for _, sched := range schedulers {
-		base := sched.Run(cluster.NewPool(4, clusterQuantum), cluster.UniformTasks(nTasks, units)).Makespan
-		hogged := func() time.Duration {
-			p := cluster.NewPool(4, clusterQuantum)
+		base := sched.Run(cluster.NewPool(sim.New(), 4, clusterQuantum), tasks()).Makespan
+		hogged := func() sim.Duration {
+			p := cluster.NewPool(sim.New(), 4, clusterQuantum)
 			// The hog halves node 0's effective CPU for the whole job.
 			p.Workers()[0].SetSpeed(0.5)
-			return sched.Run(p, cluster.UniformTasks(nTasks, units)).Makespan
+			return sched.Run(p, tasks()).Makespan
 		}()
-		ratio := float64(hogged) / float64(base)
-		t.AddRow(sched.Name(),
-			fmt.Sprintf("%v", base.Round(time.Millisecond)),
-			fmt.Sprintf("%v", hogged.Round(time.Millisecond)),
-			fmt.Sprintf("%.2fx", ratio))
+		ratio := hogged / base
+		t.AddRow(sched.Name(), fmtVirt(base), fmtVirt(hogged), fmt.Sprintf("%.2fx", ratio))
 		t.SetMetric("slowdown_"+sched.Name(), ratio)
 	}
-	t.AddNote("tasks sized via the n log n sort cost model; hog implemented as a 50%% CPU share")
+	t.AddNote("%d records in %d partitions, sized via the n log n sort cost model; hog implemented as a 50%% CPU share", records, partitions)
 	return t
 }
 
 func runE23(cfg Config) *Table {
-	nTasks := int(scale(cfg, 48, 96))
-	units := int(scale(cfg, 60, 80))
+	nTasks := 48
+	units := int(scale(cfg, 2048, 8192))
+	// The slow-down failure strikes a quarter of the way into the
+	// healthy-case job.
+	degradeAt := sim.Duration(nTasks*units) * clusterQuantum / 4 / 4
 	t := NewTable("E23", "Slow-down failures: reissue and reconcile",
 		"reissue bounds the tail; reconciliation bounds wasted work",
 		"scheduler", "makespan", "wasted units", "duplicate launches")
@@ -158,19 +154,22 @@ func runE23(cfg Config) *Table {
 		cluster.Hedged{MaxClones: 1},
 		cluster.Reissue{TimeoutFactor: 3, MaxClones: 1},
 	} {
-		p := cluster.NewPool(4, clusterQuantum)
+		s := sim.New()
+		p := cluster.NewPool(s, 4, clusterQuantum)
 		if tel != nil {
+			tel.nextRun(sched.Name())
 			p.SetTracer(tel.Tracer)
 		}
-		// Worker 0 suffers a severe slow-down failure shortly into the job.
-		timer := time.AfterFunc(10*time.Millisecond, func() { p.Workers()[0].SetSpeed(0.02) })
+		// Worker 0 suffers a severe slow-down failure partway into the job.
+		s.After(degradeAt, func() { p.Workers()[0].SetSpeed(0.02) })
 		r := sched.Run(p, cluster.UniformTasks(nTasks, units))
-		timer.Stop()
-		p.Workers()[0].SetSpeed(1)
-		t.AddRow(r.Scheduler, fmt.Sprintf("%v", r.Makespan.Round(time.Millisecond)),
-			fmt.Sprintf("%d", r.WastedUnits), fmt.Sprintf("%d", r.Duplicates))
-		t.SetMetric("makespan_ms_"+r.Scheduler, float64(r.Makespan.Milliseconds()))
-		t.SetMetric("wasted_"+r.Scheduler, float64(r.WastedUnits))
+		if tel != nil {
+			tel.endRun(s)
+		}
+		t.AddRow(r.Scheduler, fmtVirt(r.Makespan),
+			fmt.Sprintf("%.0f", r.WastedUnits), fmt.Sprintf("%d", r.Duplicates))
+		t.SetMetric("makespan_ms_"+r.Scheduler, r.Makespan*1e3)
+		t.SetMetric("wasted_"+r.Scheduler, r.WastedUnits)
 		t.SetMetric("dups_"+r.Scheduler, float64(r.Duplicates))
 	}
 	totalUnits := nTasks * units
@@ -181,7 +180,8 @@ func runE23(cfg Config) *Table {
 
 func runE29(cfg Config) *Table {
 	rounds := int(scale(cfg, 4, 8))
-	units := int(scale(cfg, 60, 80))
+	units := int(scale(cfg, 4096, 16384))
+	grain := units / 16
 	t := NewTable("E29", "Bulk-synchronous parallelism under a slow node",
 		"a static BSP machine pays the straggler at every barrier; elastic rounds contain it",
 		"design", "healthy", "one node at 25%", "slowdown")
@@ -190,17 +190,13 @@ func runE29(cfg Config) *Table {
 		if elastic {
 			name = "elastic rounds"
 		}
-		healthy := cluster.RunBSP(cluster.NewPool(4, clusterQuantum),
-			cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: 20}).Makespan
-		pSlow := cluster.NewPool(4, clusterQuantum)
+		params := cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: grain}
+		healthy := cluster.RunBSP(cluster.NewPool(sim.New(), 4, clusterQuantum), params).Makespan
+		pSlow := cluster.NewPool(sim.New(), 4, clusterQuantum)
 		pSlow.Workers()[0].SetSpeed(0.25)
-		slow := cluster.RunBSP(pSlow,
-			cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: 20}).Makespan
-		ratio := float64(slow) / float64(healthy)
-		t.AddRow(name,
-			fmt.Sprintf("%v", healthy.Round(time.Millisecond)),
-			fmt.Sprintf("%v", slow.Round(time.Millisecond)),
-			fmt.Sprintf("%.2fx", ratio))
+		slow := cluster.RunBSP(pSlow, params).Makespan
+		ratio := slow / healthy
+		t.AddRow(name, fmtVirt(healthy), fmtVirt(slow), fmt.Sprintf("%.2fx", ratio))
 		key := "static"
 		if elastic {
 			key = "elastic"
@@ -212,30 +208,29 @@ func runE29(cfg Config) *Table {
 }
 
 func runE24(cfg Config) *Table {
-	nTasks := int(scale(cfg, 48, 96))
-	units := int(scale(cfg, 60, 80))
+	nTasks := 48
+	units := int(scale(cfg, 2048, 8192))
+	degradeAt := sim.Duration(nTasks*units) * clusterQuantum / 4 / 4
 	t := NewTable("E24", "Scheduler comparison",
 		"increasing fail-stutter awareness narrows the gap to fault-free performance",
 		"scheduler", "healthy", "static slow node", "mid-job degradation")
 	for _, sched := range cluster.Schedulers() {
-		healthy := sched.Run(cluster.NewPool(4, clusterQuantum), cluster.UniformTasks(nTasks, units)).Makespan
+		healthy := sched.Run(cluster.NewPool(sim.New(), 4, clusterQuantum),
+			cluster.UniformTasks(nTasks, units)).Makespan
 
-		pStatic := cluster.NewPool(4, clusterQuantum)
+		pStatic := cluster.NewPool(sim.New(), 4, clusterQuantum)
 		pStatic.Workers()[0].SetSpeed(0.25)
 		static := sched.Run(pStatic, cluster.UniformTasks(nTasks, units)).Makespan
 
-		pMid := cluster.NewPool(4, clusterQuantum)
-		timer := time.AfterFunc(10*time.Millisecond, func() { pMid.Workers()[0].SetSpeed(0.1) })
+		sMid := sim.New()
+		pMid := cluster.NewPool(sMid, 4, clusterQuantum)
+		sMid.After(degradeAt, func() { pMid.Workers()[0].SetSpeed(0.1) })
 		mid := sched.Run(pMid, cluster.UniformTasks(nTasks, units)).Makespan
-		timer.Stop()
 
-		t.AddRow(sched.Name(),
-			fmt.Sprintf("%v", healthy.Round(time.Millisecond)),
-			fmt.Sprintf("%v", static.Round(time.Millisecond)),
-			fmt.Sprintf("%v", mid.Round(time.Millisecond)))
-		t.SetMetric("healthy_ms_"+sched.Name(), float64(healthy.Milliseconds()))
-		t.SetMetric("static_ms_"+sched.Name(), float64(static.Milliseconds()))
-		t.SetMetric("mid_ms_"+sched.Name(), float64(mid.Milliseconds()))
+		t.AddRow(sched.Name(), fmtVirt(healthy), fmtVirt(static), fmtVirt(mid))
+		t.SetMetric("healthy_ms_"+sched.Name(), healthy*1e3)
+		t.SetMetric("static_ms_"+sched.Name(), static*1e3)
+		t.SetMetric("mid_ms_"+sched.Name(), mid*1e3)
 	}
 	return t
 }

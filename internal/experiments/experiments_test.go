@@ -390,8 +390,8 @@ func TestA3PeerVsAbsolute(t *testing.T) {
 	}
 }
 
-// Cluster-backed experiments are wall-clock sensitive; assert loose
-// shapes only.
+// Cluster-backed experiments run on the virtual-time kernel; the shape
+// assertions below are exact-repeatable for a given configuration.
 
 func TestE14DHTShapes(t *testing.T) {
 	tbl := runByID(t, "E14")

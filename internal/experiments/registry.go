@@ -28,18 +28,14 @@ func (cfg Config) Observability() bool {
 	return cfg.Trace || cfg.Audit || cfg.Metrics
 }
 
-// Experiment is one registered reproduction.
+// Experiment is one registered reproduction. Every experiment runs on its
+// own virtual-time simulator, so results are deterministic and RunAll may
+// fan experiments across workers freely.
 type Experiment struct {
 	ID         string
 	Title      string
 	PaperClaim string
 	Run        func(cfg Config) *Table
-	// WallClock marks experiments that measure real goroutine scheduling
-	// and CPU shares (the internal/cluster benchmarks). Their results are
-	// wall-clock dependent — nondeterministic run to run even serially —
-	// and RunAll never runs them concurrently with anything else, since
-	// background load would distort the load ratios they measure.
-	WallClock bool
 }
 
 var registry = map[string]Experiment{}

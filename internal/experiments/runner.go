@@ -11,59 +11,46 @@ import (
 // as 1.
 //
 // Every experiment owns an independent Simulator and seeded RNG, so the
-// virtual-time experiments are embarrassingly parallel and their tables
-// are byte-identical for a given seed regardless of parallelism. The
-// wall-clock experiments (Experiment.WallClock: the internal/cluster
-// goroutine benchmarks) measure real CPU shares and sleep timings, so
-// they always run exclusively, one at a time, after the parallel batch —
-// running them alongside other experiments would distort the very load
-// ratios they measure.
+// whole suite is embarrassingly parallel and the tables are byte-identical
+// for a given seed regardless of parallelism.
 func RunAll(cfg Config, parallelism int) []*Table {
 	return runExperiments(All(), cfg, parallelism)
 }
 
-// runExperiments fans list across parallelism workers (wall-clock entries
-// excluded, see RunAll) and returns tables positionally aligned with list.
+// runExperiments fans list across parallelism workers and returns tables
+// positionally aligned with list.
 func runExperiments(list []Experiment, cfg Config, parallelism int) []*Table {
 	if parallelism < 1 {
 		parallelism = 1
 	}
 	tables := make([]*Table, len(list))
-	var fan, exclusive []int
-	for i, e := range list {
-		if e.WallClock || parallelism == 1 {
-			exclusive = append(exclusive, i)
-		} else {
-			fan = append(fan, i)
+	if parallelism == 1 {
+		for i, e := range list {
+			tables[i] = e.Run(cfg)
 		}
+		return tables
 	}
-	if len(fan) > 0 {
-		workers := parallelism
-		if workers > len(fan) {
-			workers = len(fan)
-		}
-		// Experiments have very unequal costs, so workers pull the next
-		// index from a shared counter instead of taking fixed slices.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					n := int(next.Add(1)) - 1
-					if n >= len(fan) {
-						return
-					}
-					i := fan[n]
-					tables[i] = list[i].Run(cfg)
+	workers := parallelism
+	if workers > len(list) {
+		workers = len(list)
+	}
+	// Experiments have very unequal costs, so workers pull the next index
+	// from a shared counter instead of taking fixed slices.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(list) {
+					return
 				}
-			}()
-		}
-		wg.Wait()
+				tables[n] = list[n].Run(cfg)
+			}
+		}()
 	}
-	for _, i := range exclusive {
-		tables[i] = list[i].Run(cfg)
-	}
+	wg.Wait()
 	return tables
 }

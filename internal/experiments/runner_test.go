@@ -4,26 +4,15 @@ import (
 	"testing"
 )
 
-// virtualTime returns the experiments whose results are pure functions of
-// the seed (everything but the wall-clock goroutine benchmarks, which are
-// nondeterministic run to run even serially — see Experiment.WallClock).
-func virtualTime() []Experiment {
-	var out []Experiment
-	for _, e := range All() {
-		if !e.WallClock {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
 // TestRunAllDeterministic asserts that the parallel runner produces
 // byte-identical tables to the serial path for several seeds: same rows,
 // same notes, same metrics, same formatting, in the same display order.
+// Since the cluster plane moved onto the virtual-time kernel this covers
+// the entire registry — no experiment is exempt.
 func TestRunAllDeterministic(t *testing.T) {
-	list := virtualTime()
-	if len(list) < 25 {
-		t.Fatalf("only %d virtual-time experiments registered", len(list))
+	list := All()
+	if len(list) < 30 {
+		t.Fatalf("only %d experiments registered", len(list))
 	}
 	for _, seed := range []uint64{1, 42, 1337} {
 		cfg := Config{Seed: seed, Quick: true}
@@ -51,12 +40,34 @@ func TestRunAllDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunAllIncludesWallClock asserts RunAll covers the full registry in
-// display order, wall-clock experiments included.
-func TestRunAllIncludesWallClock(t *testing.T) {
-	if testing.Short() {
-		t.Skip("wall-clock experiments take seconds; skipped in -short")
+// TestRunAllRepeatable asserts the cluster-backed experiments — the ones
+// that used to be wall-clock and vary run to run — now produce
+// byte-identical tables across repeated runs at several seeds.
+func TestRunAllRepeatable(t *testing.T) {
+	var clusterExps []Experiment
+	for _, id := range []string{"E14", "E15", "E23", "E24", "E29"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatalf("missing cluster experiment %s: %v", id, err)
+		}
+		clusterExps = append(clusterExps, e)
 	}
+	for _, seed := range []uint64{1, 42, 1337} {
+		cfg := Config{Seed: seed, Quick: true}
+		first := runExperiments(clusterExps, cfg, 4)
+		second := runExperiments(clusterExps, cfg, 4)
+		for i, e := range clusterExps {
+			if got, want := second[i].Format(), first[i].Format(); got != want {
+				t.Errorf("seed %d: experiment %s differs between repeated runs:\n--- first ---\n%s\n--- second ---\n%s",
+					seed, e.ID, want, got)
+			}
+		}
+	}
+}
+
+// TestRunAllCoversRegistry asserts RunAll covers the full registry in
+// display order.
+func TestRunAllCoversRegistry(t *testing.T) {
 	tables := RunAll(Config{Seed: 42, Quick: true}, 4)
 	all := All()
 	if len(tables) != len(all) {

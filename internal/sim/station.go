@@ -201,6 +201,19 @@ func (st *Station) Utilization() float64 {
 // Failed reports whether the station has absolutely failed.
 func (st *Station) Failed() bool { return st.failed }
 
+// ServedInCurrent returns the work already drained from the request in
+// service at the current instant, or zero when the server is idle. Callers
+// probing smooth progress counters (peer-relative detectors sampling
+// mid-request) add this to their completed-work tally so a station busy on
+// one long request does not look stalled between completions.
+func (st *Station) ServedInCurrent() float64 {
+	if st.cur == nil {
+		return 0
+	}
+	st.progress()
+	return st.cur.Size - st.cur.remaining
+}
+
 // Submit enqueues a request. It panics on non-positive sizes, which always
 // indicate a workload-generator bug. Requests submitted to a failed station
 // are counted as abandoned and their OnDone is never called.
