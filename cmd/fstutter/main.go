@@ -8,6 +8,9 @@
 //	fstutter run E01 E03 A2      # run selected experiments
 //	fstutter e7                   # bare id: same as `run E07`
 //	fstutter all                  # run the full suite
+//	fstutter profile E05          # critical-path + SLO profile artifacts
+//	fstutter bench -out B.json    # wall-clock benchmark artifact
+//	fstutter perfdiff old new     # diff two bench artifacts, gate on regress
 //
 // Flags (accepted before or after the subcommand):
 //
@@ -23,6 +26,13 @@
 //	-metrics-out DIR  write <ID>.metrics.json and <ID>.metrics.csv
 //	-audit            print the verdict audit timeline per experiment and,
 //	                  with an output directory, write <ID>.audit.json
+//	-out PATH         `profile` artifact directory (default profiles/), or
+//	                  `bench` output file (default stdout)
+//	-top N            rows in the `profile` hot-frame table (default 15)
+//	-slo SECONDS      `profile` SLO latency threshold (0 = auto: 5x median)
+//	-samples N        wall-clock samples per benchmark for `bench` (default 5)
+//	-threshold R      `perfdiff` rate-ratio threshold (default 0.8)
+//	-gate             `perfdiff` exits 1 on regression instead of warning
 package main
 
 import (
@@ -48,6 +58,12 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON to this directory (or .json file for a single experiment)")
 	metricsOut := flag.String("metrics-out", "", "write metrics JSON and CSV dumps to this directory")
 	audit := flag.Bool("audit", false, "print the verdict audit timeline per experiment")
+	out := flag.String("out", "", "output location for 'profile' (directory, default profiles/) and 'bench' (file, default stdout)")
+	topN := flag.Int("top", 15, "rows in the 'profile' hot-frame table")
+	sloThresh := flag.Float64("slo", 0, "'profile' SLO latency threshold in virtual seconds (0 = auto: 5x median)")
+	samples := flag.Int("samples", 5, "wall-clock samples per benchmark for 'bench'")
+	threshold := flag.Float64("threshold", 0.8, "'perfdiff' rate-ratio threshold: new/old throughput below this is a regression")
+	gate := flag.Bool("gate", false, "'perfdiff' exits 1 on regression instead of warning")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -93,6 +109,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fstutter run: at least one experiment id required")
 			os.Exit(2)
 		}
+	case "profile":
+		if len(operands) == 0 {
+			fmt.Fprintln(os.Stderr, "fstutter profile: at least one experiment id required")
+			os.Exit(2)
+		}
+		dir := *out
+		if dir == "" {
+			dir = "profiles"
+		}
+		cmdProfile(cfg, resolveIDs(operands), dir, *sloThresh, *topN)
+		return
+	case "perfdiff":
+		if len(operands) != 2 {
+			fmt.Fprintln(os.Stderr, "fstutter perfdiff: usage: fstutter perfdiff <old.json> <new.json> [-threshold R] [-gate]")
+			os.Exit(2)
+		}
+		cmdPerfDiff(operands[0], operands[1], *threshold, *gate)
+		return
+	case "bench":
+		cmdBench(cfg, *samples, *out)
+		return
 	default:
 		// A bare experiment id ("E07", "e7", "a2") is shorthand for
 		// `run <ID>`.
@@ -104,15 +141,7 @@ func main() {
 		operands = append([]string{cmd}, operands...)
 	}
 
-	ids := make([]string, len(operands))
-	for i, raw := range operands {
-		id, ok := normalizeID(raw)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", raw)
-			os.Exit(1)
-		}
-		ids[i] = id
-	}
+	ids := resolveIDs(operands)
 	single := len(ids) == 1
 	for _, id := range ids {
 		e, err := experiments.Get(id)
@@ -124,6 +153,21 @@ func main() {
 		printTable(tbl)
 		sink.emit(tbl, single)
 	}
+}
+
+// resolveIDs normalizes each operand to a canonical experiment id,
+// exiting on the first unknown one.
+func resolveIDs(operands []string) []string {
+	ids := make([]string, len(operands))
+	for i, raw := range operands {
+		id, ok := normalizeID(raw)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", raw)
+			os.Exit(1)
+		}
+		ids[i] = id
+	}
+	return ids
 }
 
 // normalizeID resolves user spellings of experiment ids: case-insensitive
@@ -264,6 +308,9 @@ usage:
   fstutter [flags] run <id>...
   fstutter [flags] <id>         (bare id: run one experiment, e.g. 'fstutter e7')
   fstutter [flags] all
+  fstutter [flags] profile <id>...
+  fstutter [flags] bench
+  fstutter [flags] perfdiff <old.json> <new.json>
 
 flags (before or after the subcommand):
   -seed N           random seed (default 42)
@@ -275,5 +322,13 @@ flags (before or after the subcommand):
   -metrics-out DIR  metrics registry dumps: <ID>.metrics.json + .csv
   -audit            print the verdict audit timeline (and write
                     <ID>.audit.json next to metrics or traces)
+  -out PATH         'profile' artifact directory (default profiles/):
+                    <ID>.profile.json + .folded.txt + .critpath.txt + .slo.json;
+                    or 'bench' artifact file (default stdout)
+  -top N            rows in the 'profile' hot-frame table (default 15)
+  -slo SECONDS      'profile' SLO latency threshold (0 = auto: 5x median)
+  -samples N        wall-clock samples per benchmark for 'bench' (default 5)
+  -threshold R      'perfdiff' throughput-ratio threshold (default 0.8)
+  -gate             'perfdiff' exits 1 on regression instead of warning
 `)
 }

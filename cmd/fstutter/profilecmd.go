@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"failstutter/internal/experiments"
+	"failstutter/internal/profile"
+)
+
+// cmdProfile runs each experiment with the profiling plane on and emits
+// four artifacts per experiment into dir: the folded flame stacks
+// (<ID>.folded.txt), the critical-path text report (<ID>.critpath.txt),
+// the full profile JSON (<ID>.profile.json), and the SLO availability
+// analysis (<ID>.slo.json). The critical-path report also prints to
+// stdout. All artifacts are byte-deterministic at a fixed seed.
+func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold float64, topN int) {
+	cfg.Profile = true
+	for _, id := range ids {
+		e, err := experiments.Get(id)
+		if err != nil {
+			fail(err)
+		}
+		tbl := e.Run(cfg)
+		tel := tbl.Telemetry
+		if tel == nil || tel.Tracer == nil {
+			fail(fmt.Errorf("experiment %s produced no telemetry to profile", id))
+		}
+		rep := profile.Analyze(tel.Tracer, tel.Metrics)
+		slo := profile.AnalyzeSLO(tel.Tracer, profile.SLOConfig{Threshold: sloThreshold})
+
+		fmt.Printf("== %s: profile ==\n", tbl.ID)
+		if err := rep.WriteText(os.Stdout, topN); err != nil {
+			fail(err)
+		}
+		fmt.Printf("slo: %s availability %.4f (%d/%d within %.4gs threshold",
+			slo.Category, slo.Availability, slo.Within, slo.Offered, slo.Threshold)
+		if slo.Auto {
+			fmt.Print(", auto")
+		}
+		fmt.Println(")")
+
+		writeArtifact(filepath.Join(dir, tbl.ID+".folded.txt"), rep.WriteFolded)
+		writeArtifact(filepath.Join(dir, tbl.ID+".profile.json"), rep.WriteJSON)
+		writeArtifact(filepath.Join(dir, tbl.ID+".slo.json"), slo.WriteJSON)
+		writeArtifact(filepath.Join(dir, tbl.ID+".critpath.txt"), func(w io.Writer) error {
+			return rep.WriteText(w, topN)
+		})
+	}
+}
+
+// cmdPerfDiff diffs two benchmark artifacts through the repo's own
+// detection plane and prints the verdict table. With gate set, a
+// regression exits 1 (the CI failure mode); otherwise the diff is
+// warn-only.
+func cmdPerfDiff(oldPath, newPath string, threshold float64, gate bool) {
+	oldA, err := profile.ReadBenchFile(oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newA, err := profile.ReadBenchFile(newPath)
+	if err != nil {
+		fail(err)
+	}
+	rep := profile.PerfDiff(oldA, newA, profile.PerfDiffConfig{Threshold: threshold})
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+	if rep.Failed() {
+		if gate {
+			os.Exit(1)
+		}
+		fmt.Println("warn: performance regression detected (gate off; failing would need -gate)")
+	}
+}
+
+// benchTargets are the representative workloads `fstutter bench` times:
+// a RAID scenario, the disk plane, the DHT, and the scheduler engine —
+// one per major subsystem, all in quick mode so a full sample set runs
+// in seconds.
+var benchTargets = []string{"E01", "E05", "E14", "E23"}
+
+// cmdBench measures each target experiment samples times with the
+// testing package's benchmark driver and writes a canonical benchmark
+// artifact to outPath (stdout when empty). Unlike every other artifact,
+// ns/op is wall-clock: this is the one command whose output measures the
+// implementation rather than the simulation.
+func cmdBench(cfg experiments.Config, samples int, outPath string) {
+	cfg.Quick = true
+	art := &profile.BenchArtifact{Schema: profile.BenchSchema, Seed: cfg.Seed, Quick: true}
+	for _, id := range benchTargets {
+		e, err := experiments.Get(id)
+		if err != nil {
+			fail(err)
+		}
+		b := profile.Bench{Name: "experiment/" + id, Unit: "ns/op"}
+		for i := 0; i < samples; i++ {
+			res := testing.Benchmark(func(tb *testing.B) {
+				for n := 0; n < tb.N; n++ {
+					e.Run(cfg)
+				}
+			})
+			b.Samples = append(b.Samples, float64(res.NsPerOp()))
+		}
+		fmt.Fprintf(os.Stderr, "bench %-16s median %.4g ns/op over %d samples\n",
+			b.Name, b.Median(), samples)
+		art.Benchmarks = append(art.Benchmarks, b)
+	}
+	if outPath == "" {
+		if err := art.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	writeArtifact(outPath, art.WriteJSON)
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"failstutter/internal/spec"
+	"failstutter/internal/trace"
+)
+
+// flagDetector adapts an inline peer-relative flag (the DHT's adaptive
+// detector, detect-avoid's migration flags) to the detect.Detector
+// interface so detect.Audited can log its transitions with evidence. The
+// flag decision itself stays where it was — in the sampling loop that owns
+// the fleet-median computation — and this adapter just reports the state
+// and the numbers behind it.
+type flagDetector struct {
+	flagged   *bool
+	threshold float64
+	// rate and med hold the last sample's evidence: the component's rate
+	// and the fleet median it was judged against.
+	rate, med float64
+}
+
+// Observe implements detect.Detector; the caller stores the fleet median
+// separately before observing.
+func (f *flagDetector) Observe(now, rate float64) { f.rate = rate }
+
+// Verdict implements detect.Detector, reading the live flag.
+func (f *flagDetector) Verdict(now float64) spec.Verdict {
+	if *f.flagged {
+		return spec.PerfFaulty
+	}
+	return spec.Nominal
+}
+
+// DetectorName implements detect.NamedDetector for audit records.
+func (f *flagDetector) DetectorName() string { return "peer-relative" }
+
+// Explain implements detect.Explainer: the sampled rate against the
+// threshold fraction of the fleet median.
+func (f *flagDetector) Explain() trace.Evidence {
+	return trace.Evidence{
+		Signal: "sample-rate", Observed: f.rate,
+		RefKind: "fleet-median", Reference: f.med,
+		Threshold: f.threshold,
+		Margin:    f.rate - f.threshold*f.med,
+	}
+}

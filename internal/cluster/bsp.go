@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // BSPParams configures a bulk-synchronous parallel computation: Rounds
@@ -67,6 +68,21 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 		doneAt    sim.Time
 	)
 
+	// Each superstep is one span on the "bsp" track, opened when the round
+	// is dispatched and closed the instant its barrier clears — the span
+	// length *is* the straggler tax made visible.
+	tr := p.tracer
+	var bspTrack trace.TrackID
+	var roundSpan trace.SpanID
+	if tr != nil {
+		bspTrack = tr.Track("bsp")
+	}
+	barrierClear := func() {
+		if tr != nil {
+			tr.End(roundSpan, s.Now())
+		}
+	}
+
 	finishJob := func() {
 		done = true
 		doneAt = s.Now()
@@ -82,6 +98,7 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 			if remaining <= 0 {
 				barrier--
 				if barrier == 0 {
+					barrierClear()
 					round++
 					if round == params.Rounds {
 						finishJob()
@@ -101,6 +118,9 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 		startRound = func() {
 			barrier = n
 			remaining = float64(params.UnitsPerWorkerRound) * float64(n)
+			if tr != nil {
+				roundSpan = tr.Begin(bspTrack, fmt.Sprintf("superstep-%d", round), "bsp", 0, s.Now())
+			}
 			for _, w := range p.workers {
 				pull(w)
 			}
@@ -114,6 +134,7 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 		arrive := func(*Worker) {
 			barrier--
 			if barrier == 0 {
+				barrierClear()
 				round++
 				if round == params.Rounds {
 					finishJob()
@@ -124,6 +145,9 @@ func RunBSP(p *Pool, params BSPParams) BSPReport {
 		}
 		startRound = func() {
 			barrier = n
+			if tr != nil {
+				roundSpan = tr.Begin(bspTrack, fmt.Sprintf("superstep-%d", round), "bsp", 0, s.Now())
+			}
 			for _, w := range p.workers {
 				w.exec(float64(params.UnitsPerWorkerRound))
 			}

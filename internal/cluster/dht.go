@@ -3,8 +3,10 @@ package cluster
 import (
 	"fmt"
 
+	"failstutter/internal/detect"
 	"failstutter/internal/sim"
 	"failstutter/internal/stats"
+	"failstutter/internal/trace"
 )
 
 // DHTParams configures a replicated in-memory hash table in the style of
@@ -48,6 +50,16 @@ type DHT struct {
 	lastUnits  []float64
 	rates      []float64
 	medScratch []float64
+
+	// tracer, when non-nil, records one "put" span per ack group on the
+	// "dht" track (issue to acknowledgment) plus hinted-handoff instants.
+	tracer *trace.Tracer
+	track  trace.TrackID
+
+	// audited, when non-nil, logs the adaptive detector's flag transitions
+	// per node with peer-relative evidence.
+	audited []*detect.Audited
+	audDet  []*flagDetector
 
 	// Freelists keep the steady-state put path allocation-free: one op
 	// per replica write, one ack group per put.
@@ -120,6 +132,8 @@ type dhtOp struct {
 type ackGroup struct {
 	need  int
 	onAck func()
+	// span is the put's open tracer span, zero when tracing is off.
+	span trace.SpanID
 }
 
 // NewDHT builds the table on the simulator.
@@ -152,6 +166,33 @@ func NewDHT(s *sim.Simulator, p DHTParams) *DHT {
 
 // Sim returns the simulator the table runs on.
 func (d *DHT) Sim() *sim.Simulator { return d.sim }
+
+// SetTracer attaches a span tracer: every node's station records its
+// queue/service spans, each put records an ack-group span on the "dht"
+// track from issue to acknowledgment (the key as the span arg), and every
+// hinted-handoff release is an instant. A nil tracer detaches.
+func (d *DHT) SetTracer(t *trace.Tracer) {
+	d.tracer = t
+	if t != nil {
+		d.track = t.Track("dht")
+	}
+	for _, n := range d.nodes {
+		n.st.SetTracer(t)
+	}
+}
+
+// EnableAudit logs the adaptive detector's per-node flag transitions to
+// the given audit trail, wrapping each node's flag in a detect.Audited
+// transition logger with the sampled rate and fleet median as evidence.
+func (d *DHT) EnableAudit(log *trace.AuditLog) {
+	n := len(d.nodes)
+	d.audDet = make([]*flagDetector, n)
+	d.audited = make([]*detect.Audited, n)
+	for i := 0; i < n; i++ {
+		d.audDet[i] = &flagDetector{flagged: &d.flags[i], threshold: d.p.Threshold}
+		d.audited[i] = detect.NewAudited(d.audDet[i], log, fmt.Sprintf("node-%d", i))
+	}
+}
 
 // Node returns the i'th storage brick.
 func (d *DHT) Node(i int) *DHTNode { return d.nodes[i] }
@@ -221,6 +262,10 @@ func (d *DHT) groupAck(g *ackGroup) {
 		return
 	}
 	d.puts++
+	if g.span != 0 {
+		d.tracer.End(g.span, d.sim.Now())
+		g.span = 0
+	}
 	cb := g.onAck
 	g.onAck = nil
 	d.ackFree = append(d.ackFree, g)
@@ -268,6 +313,9 @@ func (d *DHT) link(op *dhtOp) {
 // flagged its fallback-sync writes must not be converted in the same
 // sweep.
 func (d *DHT) releaseSync(i int) {
+	if d.tracer != nil {
+		d.tracer.Instant(d.track, "hinted-handoff", "dht", d.sim.Now())
+	}
 	n := d.nodes[i]
 	op := n.syncHead
 	n.syncHead, n.syncTail = nil, nil
@@ -312,6 +360,9 @@ func (d *DHT) Put(key uint64, onAck func()) {
 		g.need = healthy
 	}
 	g.onAck = onAck
+	if d.tracer != nil {
+		g.span = d.tracer.BeginArg(d.track, "put", "dht", 0, d.sim.Now(), int64(key))
+	}
 	for _, r := range reps {
 		op := d.getOp()
 		op.node = r
@@ -357,6 +408,13 @@ func (d *DHT) sample() {
 				d.releaseSync(i)
 			}
 			d.flags[i] = flag
+		}
+	}
+	if d.audited != nil {
+		now := d.sim.Now()
+		for i, a := range d.audited {
+			d.audDet[i].med = med
+			a.Observe(now, d.rates[i])
 		}
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"failstutter/internal/detect"
 	"failstutter/internal/sim"
 	"failstutter/internal/stats"
+	"failstutter/internal/trace"
 )
 
 // Task is one unit of schedulable work. IDs must be dense in [0, n) for a
@@ -105,6 +107,11 @@ type engine struct {
 	start      sim.Time
 	doneAt     sim.Time
 	finished   bool
+
+	// tr, when non-nil, records the scheduler's duplication decisions
+	// (reissue, clone, migrate) as instants on the "sched" track.
+	tr      *trace.Tracer
+	trTrack trace.TrackID
 }
 
 func newEngine(name string, p *Pool, tasks []Task) *engine {
@@ -133,7 +140,19 @@ func newEngine(name string, p *Pool, tasks []Task) *engine {
 	for i := range e.firstStart {
 		e.firstStart[i] = -1
 	}
+	if t := p.tracer; t != nil {
+		e.tr = t
+		e.trTrack = t.Track("sched")
+	}
 	return e
+}
+
+// instant records a scheduler decision on the "sched" track when tracing
+// is on.
+func (e *engine) instant(name string) {
+	if e.tr != nil {
+		e.tr.Instant(e.trTrack, name, "sched", e.p.sim.Now())
+	}
 }
 
 // contiguousQueues splits tasks into per-worker contiguous equal-count
@@ -305,6 +324,7 @@ func (e *engine) cloneOldest() (Task, bool) {
 	}
 	e.clones[best]++
 	e.dups++
+	e.instant("clone")
 	return e.byID[best], true
 }
 
@@ -474,6 +494,7 @@ func (sp speculative) Run(p *Pool, tasks []Task) Report {
 					e.clones[id]++
 					e.dups++
 					e.pending = append(e.pending, e.byID[id])
+					e.instant("reissue")
 					requeued = true
 				}
 			}
@@ -549,6 +570,9 @@ type DetectAvoid struct {
 	// Threshold is the peer-relative rate fraction below which a worker
 	// is flagged (default 0.5).
 	Threshold float64
+	// Audit, when non-nil, logs every flag transition with its
+	// peer-relative evidence via detect.Audited wrappers.
+	Audit *trace.AuditLog
 }
 
 // Name implements Scheduler.
@@ -575,19 +599,22 @@ func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
 	last := snapshotUnits(p)
 	rates := make([]float64, n)
 	medScratch := make([]float64, n)
-	e.monitorPeriod = sample
-	e.monitor = func() {
-		for i, w := range p.workers {
-			cur := w.UnitsDone()
-			rates[i] = cur - last[i]
-			last[i] = cur
+
+	// Optional audit: a detect.Audited wrapper per worker over the live
+	// flag, logging nominal <-> perf-faulty transitions with the sampled
+	// rate and fleet median as evidence.
+	var audDet []*flagDetector
+	var audited []*detect.Audited
+	if d.Audit != nil {
+		audDet = make([]*flagDetector, n)
+		audited = make([]*detect.Audited, n)
+		for i := 0; i < n; i++ {
+			audDet[i] = &flagDetector{flagged: &flagged[i], threshold: thr}
+			audited[i] = detect.NewAudited(audDet[i], d.Audit, fmt.Sprintf("worker-%d", i))
 		}
-		// rates must stay index-aligned with the workers below, so the
-		// in-place median works on a reused scratch copy.
-		med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
-		if med <= 0 {
-			return
-		}
+	}
+
+	sweep := func(med float64) {
 		for i := range rates {
 			if flagged[i] {
 				continue
@@ -620,9 +647,32 @@ func (d DetectAvoid) Run(p *Pool, tasks []Task) Report {
 					dst := dsts[j%len(dsts)]
 					e.queues[dst] = append(e.queues[dst], t)
 				}
+				e.instant("migrate")
 				e.wake()
 			}
 			return // at most one migration per tick keeps this simple
+		}
+	}
+
+	e.monitorPeriod = sample
+	e.monitor = func() {
+		for i, w := range p.workers {
+			cur := w.UnitsDone()
+			rates[i] = cur - last[i]
+			last[i] = cur
+		}
+		// rates must stay index-aligned with the workers below, so the
+		// in-place median works on a reused scratch copy.
+		med := stats.MedianInPlace(medScratch[:copy(medScratch, rates)])
+		if med > 0 {
+			sweep(med)
+		}
+		if audited != nil {
+			now := p.sim.Now()
+			for i, a := range audited {
+				audDet[i].med = med
+				a.Observe(now, rates[i])
+			}
 		}
 	}
 	return e.run()

@@ -106,6 +106,10 @@ type Pool struct {
 	sim     *sim.Simulator
 	workers []*Worker
 	quantum sim.Duration
+	// tracer, when non-nil, also records job-level activity (BSP
+	// supersteps, scheduler reissue/clone/migrate decisions) alongside the
+	// per-worker station spans.
+	tracer *trace.Tracer
 }
 
 // NewPool builds n workers on the simulator with the given quantum (the
@@ -129,12 +133,17 @@ func (p *Pool) Workers() []*Worker { return p.workers }
 
 // SetTracer attaches a span tracer to every worker's station, recording
 // each execution's queue/service intervals on a "worker-<id>" track in
-// virtual time. A nil tracer detaches.
+// virtual time, and to the pool itself, so jobs running on it (BSP,
+// schedulers) emit their own spans. A nil tracer detaches.
 func (p *Pool) SetTracer(t *trace.Tracer) {
+	p.tracer = t
 	for _, w := range p.workers {
 		w.st.SetTracer(t)
 	}
 }
+
+// Tracer returns the attached span tracer, or nil when tracing is off.
+func (p *Pool) Tracer() *trace.Tracer { return p.tracer }
 
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }

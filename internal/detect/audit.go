@@ -24,6 +24,12 @@ func EvidenceOf(d Detector) trace.Evidence {
 	return trace.Evidence{}
 }
 
+// NamedDetector lets detector implementations outside this package report
+// their family name in audit records.
+type NamedDetector interface {
+	DetectorName() string
+}
+
 // DetectorName returns the detector family name for audit records.
 func DetectorName(d Detector) string {
 	switch v := d.(type) {
@@ -41,6 +47,8 @@ func DetectorName(d Detector) string {
 		return DetectorName(v.inner)
 	case *Audited:
 		return DetectorName(v.Detector)
+	case NamedDetector:
+		return v.DetectorName()
 	default:
 		return "detector"
 	}

@@ -59,27 +59,63 @@ func init() {
 // fmtVirt formats a virtual duration for table display.
 func fmtVirt(d sim.Duration) string { return fmt.Sprintf("%.3fs", d) }
 
+// clusterRunT runs one scheduler over one task set as a labeled,
+// telemetry-attached sub-run: worker stations trace to tel.Tracer, the
+// profiling sampler records occupancy, and a DetectAvoid scheduler logs
+// its flag decisions to the audit trail. setup (may be nil) configures
+// the pool — fault injection — before the job starts. With tel == nil
+// this is exactly a bare scheduler run.
+func clusterRunT(tel *Telemetry, name string, sched cluster.Scheduler, tasks []cluster.Task, setup func(*cluster.Pool)) cluster.Report {
+	s := sim.New()
+	p := cluster.NewPool(s, 4, clusterQuantum)
+	if tel != nil {
+		run := tel.nextRun(name)
+		p.SetTracer(tel.Tracer)
+		tel.attachProfile(s, run)
+		if da, ok := sched.(cluster.DetectAvoid); ok && tel.Audit != nil {
+			da.Audit = tel.Audit
+			sched = da
+		}
+	}
+	if setup != nil {
+		setup(p)
+	}
+	r := sched.Run(p, tasks)
+	tel.endRun(s)
+	return r
+}
+
 func runE14(cfg Config) *Table {
 	dur := sim.Duration(scale(cfg, 300, 1500)) * 1e-3
 	t := NewTable("E14", "DHT under garbage collection",
 		"one GC-ing node bottlenecks synchronous replication; adaptive acks ride it out",
 		"configuration", "puts", "relative", "hinted handoffs")
-	run := func(gc, adaptive bool) (int64, int64) {
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+	run := func(name string, gc, adaptive bool) (int64, int64) {
 		s := sim.New()
 		d := cluster.NewDHT(s, cluster.DHTParams{
 			Nodes: 4, Replication: 2, OpQuantum: clusterQuantum,
 			Adaptive: adaptive, SampleEvery: 1e-3,
 		})
+		if tel != nil {
+			d.SetTracer(tel.Tracer)
+			tel.attachProfile(s, tel.nextRun(name))
+			if tel.Audit != nil && adaptive {
+				d.EnableAudit(tel.Audit)
+			}
+		}
 		if gc {
 			cancel := d.StartGC(0, 40e-3, 35e-3)
 			defer cancel()
 		}
 		puts := d.RunLoad(8, dur)
+		tel.endRun(s)
 		return puts, d.Hints()
 	}
-	healthy, _ := run(false, false)
-	gcSync, _ := run(true, false)
-	gcAdaptive, hints := run(true, true)
+	healthy, _ := run("healthy-sync", false, false)
+	gcSync, _ := run("gc-sync", true, false)
+	gcAdaptive, hints := run("gc-adaptive", true, true)
 	t.AddRow("no GC, synchronous", fmt.Sprintf("%d", healthy), "1.00x", "0")
 	t.AddRow("GC on node 0, synchronous", fmt.Sprintf("%d", gcSync),
 		fmt.Sprintf("%.2fx", float64(gcSync)/float64(healthy)), "0")
@@ -116,6 +152,8 @@ func runE15(cfg Config) *Table {
 	t := NewTable("E15", "Distributed sort with a CPU hog",
 		"static design: 2x slowdown from one loaded node; pull-based sheds it",
 		"scheduler", "no hog", "hog on node 0", "hog slowdown")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	schedulers := []cluster.Scheduler{
 		cluster.StaticPartition{},
 		cluster.GaugedPartition{},
@@ -123,13 +161,11 @@ func runE15(cfg Config) *Table {
 		cluster.DetectAvoid{},
 	}
 	for _, sched := range schedulers {
-		base := sched.Run(cluster.NewPool(sim.New(), 4, clusterQuantum), tasks()).Makespan
-		hogged := func() sim.Duration {
-			p := cluster.NewPool(sim.New(), 4, clusterQuantum)
-			// The hog halves node 0's effective CPU for the whole job.
+		base := clusterRunT(tel, sched.Name()+"-healthy", sched, tasks(), nil).Makespan
+		// The hog halves node 0's effective CPU for the whole job.
+		hogged := clusterRunT(tel, sched.Name()+"-hog", sched, tasks(), func(p *cluster.Pool) {
 			p.Workers()[0].SetSpeed(0.5)
-			return sched.Run(p, tasks()).Makespan
-		}()
+		}).Makespan
 		ratio := hogged / base
 		t.AddRow(sched.Name(), fmtVirt(base), fmtVirt(hogged), fmt.Sprintf("%.2fx", ratio))
 		t.SetMetric("slowdown_"+sched.Name(), ratio)
@@ -154,18 +190,11 @@ func runE23(cfg Config) *Table {
 		cluster.Hedged{MaxClones: 1},
 		cluster.Reissue{TimeoutFactor: 3, MaxClones: 1},
 	} {
-		s := sim.New()
-		p := cluster.NewPool(s, 4, clusterQuantum)
-		if tel != nil {
-			tel.nextRun(sched.Name())
-			p.SetTracer(tel.Tracer)
-		}
 		// Worker 0 suffers a severe slow-down failure partway into the job.
-		s.After(degradeAt, func() { p.Workers()[0].SetSpeed(0.02) })
-		r := sched.Run(p, cluster.UniformTasks(nTasks, units))
-		if tel != nil {
-			tel.endRun(s)
-		}
+		r := clusterRunT(tel, sched.Name(), sched, cluster.UniformTasks(nTasks, units),
+			func(p *cluster.Pool) {
+				p.Sim().After(degradeAt, func() { p.Workers()[0].SetSpeed(0.02) })
+			})
 		t.AddRow(r.Scheduler, fmtVirt(r.Makespan),
 			fmt.Sprintf("%.0f", r.WastedUnits), fmt.Sprintf("%d", r.Duplicates))
 		t.SetMetric("makespan_ms_"+r.Scheduler, r.Makespan*1e3)
@@ -185,16 +214,34 @@ func runE29(cfg Config) *Table {
 	t := NewTable("E29", "Bulk-synchronous parallelism under a slow node",
 		"a static BSP machine pays the straggler at every barrier; elastic rounds contain it",
 		"design", "healthy", "one node at 25%", "slowdown")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+	runBSP := func(name string, params cluster.BSPParams, slowSpeed float64) sim.Duration {
+		s := sim.New()
+		p := cluster.NewPool(s, 4, clusterQuantum)
+		if tel != nil {
+			p.SetTracer(tel.Tracer)
+			tel.attachProfile(s, tel.nextRun(name))
+		}
+		if slowSpeed > 0 {
+			p.Workers()[0].SetSpeed(slowSpeed)
+		}
+		r := cluster.RunBSP(p, params)
+		tel.endRun(s)
+		return r.Makespan
+	}
 	for _, elastic := range []bool{false, true} {
 		name := "static rounds"
 		if elastic {
 			name = "elastic rounds"
 		}
+		key0 := "static"
+		if elastic {
+			key0 = "elastic"
+		}
 		params := cluster.BSPParams{Rounds: rounds, UnitsPerWorkerRound: units, Elastic: elastic, Grain: grain}
-		healthy := cluster.RunBSP(cluster.NewPool(sim.New(), 4, clusterQuantum), params).Makespan
-		pSlow := cluster.NewPool(sim.New(), 4, clusterQuantum)
-		pSlow.Workers()[0].SetSpeed(0.25)
-		slow := cluster.RunBSP(pSlow, params).Makespan
+		healthy := runBSP(key0+"-healthy", params, 0)
+		slow := runBSP(key0+"-slow", params, 0.25)
 		ratio := slow / healthy
 		t.AddRow(name, fmtVirt(healthy), fmtVirt(slow), fmt.Sprintf("%.2fx", ratio))
 		key := "static"
@@ -214,18 +261,21 @@ func runE24(cfg Config) *Table {
 	t := NewTable("E24", "Scheduler comparison",
 		"increasing fail-stutter awareness narrows the gap to fault-free performance",
 		"scheduler", "healthy", "static slow node", "mid-job degradation")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	for _, sched := range cluster.Schedulers() {
-		healthy := sched.Run(cluster.NewPool(sim.New(), 4, clusterQuantum),
-			cluster.UniformTasks(nTasks, units)).Makespan
+		healthy := clusterRunT(tel, sched.Name()+"-healthy", sched,
+			cluster.UniformTasks(nTasks, units), nil).Makespan
 
-		pStatic := cluster.NewPool(sim.New(), 4, clusterQuantum)
-		pStatic.Workers()[0].SetSpeed(0.25)
-		static := sched.Run(pStatic, cluster.UniformTasks(nTasks, units)).Makespan
+		static := clusterRunT(tel, sched.Name()+"-static", sched,
+			cluster.UniformTasks(nTasks, units), func(p *cluster.Pool) {
+				p.Workers()[0].SetSpeed(0.25)
+			}).Makespan
 
-		sMid := sim.New()
-		pMid := cluster.NewPool(sMid, 4, clusterQuantum)
-		sMid.After(degradeAt, func() { pMid.Workers()[0].SetSpeed(0.1) })
-		mid := sched.Run(pMid, cluster.UniformTasks(nTasks, units)).Makespan
+		mid := clusterRunT(tel, sched.Name()+"-mid", sched,
+			cluster.UniformTasks(nTasks, units), func(p *cluster.Pool) {
+				p.Sim().After(degradeAt, func() { p.Workers()[0].SetSpeed(0.1) })
+			}).Makespan
 
 		t.AddRow(sched.Name(), fmtVirt(healthy), fmtVirt(static), fmtVirt(mid))
 		t.SetMetric("healthy_ms_"+sched.Name(), healthy*1e3)

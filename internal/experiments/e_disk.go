@@ -67,6 +67,7 @@ func runE05(cfg Config) *Table {
 		d := device.MustDisk(s, p)
 		if tel != nil {
 			d.SetTracer(tel.Tracer)
+			tel.attachProfile(s, tel.nextRun(p.Name))
 		}
 		bw := d.SequentialReadBandwidth(0, blocks)
 		if tel != nil {
@@ -181,6 +182,7 @@ func runE07(cfg Config) *Table {
 			d := flatDisk(s, "video", 5.5e6)
 			if tel != nil {
 				d.SetTracer(tel.Tracer)
+				tel.attachProfile(s, tel.nextRun(fmt.Sprintf("b%v-r%v", buffer, recal)))
 			}
 			faults.PeriodicStall{
 				Period: 30, Duration: recal, Jitter: 5,
@@ -243,6 +245,7 @@ func runE08(cfg Config) *Table {
 		d := device.MustDisk(s, p)
 		if tel != nil {
 			d.SetTracer(tel.Tracer)
+			tel.attachProfile(s, tel.nextRun(pos.name))
 		}
 		start := int64(pos.frac * float64(p.CapacityBlocks))
 		bw := d.SequentialReadBandwidth(start, int64(blocks))
@@ -280,6 +283,7 @@ func runE13(cfg Config) *Table {
 		d := device.MustDisk(s, p)
 		if tel != nil {
 			d.SetTracer(tel.Tracer)
+			tel.attachProfile(s, tel.nextRun(p.Name))
 		}
 		bw := d.SequentialReadBandwidth(0, blocks)
 		if tel != nil {

@@ -21,11 +21,17 @@ type Config struct {
 	Audit bool
 	// Metrics records labeled counters/histograms/series in a registry.
 	Metrics bool
+	// Profile enables the profiling plane: implies Trace and Metrics,
+	// and additionally samples station occupancy (queue depth, backlog)
+	// on every transition so the profiler can reconstruct queue
+	// profiles. Critical-path, folded-stack, and SLO artifacts derive
+	// from the resulting telemetry.
+	Profile bool
 }
 
 // Observability reports whether any telemetry flag is set.
 func (cfg Config) Observability() bool {
-	return cfg.Trace || cfg.Audit || cfg.Metrics
+	return cfg.Trace || cfg.Audit || cfg.Metrics || cfg.Profile
 }
 
 // Experiment is one registered reproduction. Every experiment runs on its

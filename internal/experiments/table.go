@@ -12,6 +12,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -99,7 +100,8 @@ func (t *Table) CSV() string {
 		}
 	}
 	for _, k := range t.MetricKeys() {
-		if err := w.Write([]string{t.ID, "metric:" + k, fmt.Sprintf("%g", t.metrics[k])}); err != nil {
+		v := strconv.FormatFloat(t.metrics[k], 'g', -1, 64)
+		if err := w.Write([]string{t.ID, "metric:" + k, v}); err != nil {
 			panic(err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"failstutter/internal/detect"
+	"failstutter/internal/profile"
 	"failstutter/internal/raid"
 	"failstutter/internal/sim"
 	"failstutter/internal/trace"
@@ -18,6 +19,10 @@ type Telemetry struct {
 	Tracer  *trace.Tracer
 	Audit   *trace.AuditLog
 	Metrics *trace.Registry
+	// Profile marks that the profiling plane is on: sub-runs install a
+	// station occupancy sampler so the profiler can reconstruct
+	// queue-depth and backlog profiles alongside the span DAG.
+	Profile bool
 
 	runSeq int
 	clock  float64
@@ -25,22 +30,34 @@ type Telemetry struct {
 
 // telemetry builds a fresh Telemetry per the config's observability
 // flags, or nil when all of them are off — the nil fast path keeps the
-// default run byte-identical to a build without this plane.
+// default run byte-identical to a build without this plane. Profile
+// implies Trace and Metrics: the profiler needs the span DAG and a
+// registry for its sampled series.
 func (cfg Config) telemetry() *Telemetry {
-	if !cfg.Trace && !cfg.Audit && !cfg.Metrics {
+	if !cfg.Trace && !cfg.Audit && !cfg.Metrics && !cfg.Profile {
 		return nil
 	}
-	tel := &Telemetry{}
-	if cfg.Trace {
+	tel := &Telemetry{Profile: cfg.Profile}
+	if cfg.Trace || cfg.Profile {
 		tel.Tracer = trace.NewTracer()
 	}
 	if cfg.Audit {
 		tel.Audit = trace.NewAuditLog()
 	}
-	if cfg.Metrics {
+	if cfg.Metrics || cfg.Profile {
 		tel.Metrics = trace.NewRegistry()
 	}
 	return tel
+}
+
+// attachProfile installs the profiling plane's station sampler on one
+// sub-run's simulator, recording queue-depth and backlog series labeled
+// with the run. A no-op unless profiling is on.
+func (tel *Telemetry) attachProfile(s *sim.Simulator, run string) {
+	if tel == nil || !tel.Profile {
+		return
+	}
+	s.SetStationProbe(profile.StationSampler(tel.Metrics, run))
 }
 
 // nextRun labels one sub-run (one simulator instance) within the
@@ -138,6 +155,7 @@ func runStriperT(tel *Telemetry, name string, rates []float64, blocks int64,
 	}
 	run := tel.nextRun(name)
 	a.SetTracer(tel.Tracer)
+	tel.attachProfile(s, run)
 	tel.watchPairs(s, a, run)
 	res, err := raid.WriteAndMeasure(s, a, st, blocks)
 	if err != nil {

@@ -1,0 +1,242 @@
+package profile
+
+import (
+	"sort"
+
+	"failstutter/internal/sim"
+	"failstutter/internal/trace"
+)
+
+// QueueStats summarizes the queue-depth and backlog series a
+// StationSampler recorded for one component. Means are time-weighted
+// over the sampled interval (the series are step functions: each sample
+// holds until the next occupancy transition).
+type QueueStats struct {
+	Samples     int
+	MaxDepth    float64
+	MeanDepth   float64
+	MaxBacklog  float64
+	MeanBacklog float64
+}
+
+// Component is one track's profile: how busy it was, how long its
+// service and queueing intervals ran, and how deep its queue got.
+type Component struct {
+	Name  string
+	Spans int
+	// Busy is the union coverage of the component's interval spans —
+	// concurrent spans on one track (a queue interval under a service
+	// interval) are not double counted.
+	Busy        float64
+	Utilization float64 // Busy over the whole trace window
+	// Service holds the durations of the component's service-like spans
+	// (spans named "service" when present, every interval span
+	// otherwise); Wait holds "queue" span durations and is nil for
+	// components that never queued.
+	Service *trace.Histogram
+	Wait    *trace.Histogram
+	// Queue is non-nil when a StationSampler recorded occupancy series
+	// for this component.
+	Queue *QueueStats
+}
+
+// histOf builds a log-bucketed histogram over the given durations,
+// choosing bounds from the data (trace.Histogram needs 0 < lo < hi up
+// front). Returns nil when there is nothing positive to observe.
+func histOf(durs []float64) *trace.Histogram {
+	lo, hi := 0.0, 0.0
+	for _, d := range durs {
+		if d <= 0 {
+			continue
+		}
+		if lo == 0 || d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi == 0 {
+		return nil
+	}
+	if lo >= hi {
+		hi = lo * (1 + 1e-9)
+	}
+	h := trace.NewHistogram(lo, hi, 40)
+	for _, d := range durs {
+		if d > 0 {
+			h.Observe(d)
+		}
+	}
+	return h
+}
+
+// buildComponents groups interval spans by track and folds in any
+// sampled occupancy series from the registry. Components are returned
+// sorted by name.
+func buildComponents(t *tree, reg *trace.Registry) []Component {
+	type acc struct {
+		ivals   [][2]float64
+		service []float64 // spans literally named "service"
+		other   []float64 // everything that is neither service nor queue
+		wait    []float64
+		spans   int
+	}
+	byTrack := make(map[string]*acc)
+	for i := range t.nodes {
+		sp := t.nodes[i].span
+		name := t.trackName(sp.Track)
+		a := byTrack[name]
+		if a == nil {
+			a = &acc{}
+			byTrack[name] = a
+		}
+		a.spans++
+		a.ivals = append(a.ivals, [2]float64{sp.Start, sp.End})
+		dur := sp.End - sp.Start
+		switch sp.Name {
+		case "service":
+			a.service = append(a.service, dur)
+		case "queue":
+			a.wait = append(a.wait, dur)
+		default:
+			a.other = append(a.other, dur)
+		}
+	}
+
+	window := t.hi - t.lo
+	names := make([]string, 0, len(byTrack))
+	for name := range byTrack {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]Component, 0, len(names))
+	for _, name := range names {
+		a := byTrack[name]
+		// A station track mixes queue+service spans: once real service
+		// spans exist, the histogram measures service time alone. Tracks
+		// without them (raid ops, DHT puts, striper jobs) profile every
+		// non-queue interval as a service.
+		svc := a.service
+		if len(svc) == 0 {
+			svc = a.other
+		}
+		c := Component{
+			Name:    name,
+			Spans:   a.spans,
+			Busy:    unionCover(a.ivals),
+			Service: histOf(svc),
+			Wait:    histOf(a.wait),
+		}
+		if window > 0 {
+			c.Utilization = c.Busy / window
+		}
+		out = append(out, c)
+	}
+
+	attachQueueStats(out, reg)
+	return out
+}
+
+// attachQueueStats folds "queue-depth" and "backlog" series (one per
+// run+component, as recorded by StationSampler) into the matching
+// components, combining sub-runs by time-weighted average.
+func attachQueueStats(comps []Component, reg *trace.Registry) {
+	if reg == nil {
+		return
+	}
+	ix := make(map[string]*Component, len(comps))
+	for i := range comps {
+		ix[comps[i].Name] = &comps[i]
+	}
+	type agg struct {
+		wsum, wdur, vsum float64
+		n                int
+		max              float64
+	}
+	fold := func(name string) map[string]*agg {
+		by := make(map[string]*agg)
+		reg.VisitSeries(name, func(labels []trace.Label, s *trace.Series) {
+			comp := ""
+			for _, l := range labels {
+				if l.Key == "component" {
+					comp = l.Value
+				}
+			}
+			if comp == "" || s.Len() == 0 {
+				return
+			}
+			a := by[comp]
+			if a == nil {
+				a = &agg{}
+				by[comp] = a
+			}
+			n := s.Len()
+			a.n += n
+			for i := 0; i < n; i++ {
+				v := s.Values[i]
+				a.vsum += v
+				if v > a.max {
+					a.max = v
+				}
+				if i+1 < n {
+					a.wsum += v * (s.Times[i+1] - s.Times[i])
+				}
+			}
+			a.wdur += s.Times[n-1] - s.Times[0]
+		})
+		return by
+	}
+	mean := func(a *agg) float64 {
+		if a.wdur > 0 {
+			return a.wsum / a.wdur
+		}
+		if a.n > 0 {
+			return a.vsum / float64(a.n)
+		}
+		return 0
+	}
+
+	depth := fold("queue-depth")
+	backlog := fold("backlog")
+	for comp, a := range depth {
+		c := ix[comp]
+		if c == nil {
+			continue
+		}
+		qs := &QueueStats{Samples: a.n, MaxDepth: a.max, MeanDepth: mean(a)}
+		if b := backlog[comp]; b != nil {
+			qs.MaxBacklog = b.max
+			qs.MeanBacklog = mean(b)
+		}
+		c.Queue = qs
+	}
+}
+
+// StationSampler returns a sim.StationProbe that records every station
+// occupancy transition as two registry series — "queue-depth" (requests
+// queued or in service) and "backlog" (work units outstanding, counting
+// remaining service on the request in flight) — labeled by run and
+// component. Attach it with Simulator.SetStationProbe before the run;
+// when profiling is off the probe is nil and the hook costs one branch
+// and zero allocations.
+func StationSampler(reg *trace.Registry, run string) sim.StationProbe {
+	type pair struct {
+		depth, backlog *trace.Series
+	}
+	cache := make(map[*sim.Station]pair)
+	return func(now sim.Time, st *sim.Station) {
+		p, ok := cache[st]
+		if !ok {
+			labels := []trace.Label{trace.L("run", run), trace.L("component", st.Name())}
+			p = pair{
+				depth:   reg.Series("queue-depth", labels...),
+				backlog: reg.Series("backlog", labels...),
+			}
+			cache[st] = p
+		}
+		p.depth.Add(now, float64(st.Occupancy()))
+		p.backlog.Add(now, st.BacklogWork())
+	}
+}

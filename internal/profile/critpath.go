@@ -1,0 +1,256 @@
+// Package profile is the virtual-time profiling plane: it consumes the
+// span DAG recorded by trace.Tracer and the instruments in
+// trace.Registry and answers "where did the makespan go?". It computes
+// the critical path of an experiment (attributing every instant of the
+// trace window to the component that bounded it), self/total time
+// breakdowns exported as folded stacks, per-component utilization and
+// queue profiles, windowed SLO availability after Gray & Reuter, and a
+// perf-trajectory diff that turns the repo's own fail-stutter detectors
+// on its own benchmarks.
+//
+// Everything is derived from virtual-time spans, so at a fixed seed all
+// artifacts are byte-deterministic regardless of wall-clock scheduling.
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"failstutter/internal/trace"
+)
+
+// Segment is one contiguous stretch of the critical path. Span is 0 (and
+// Track/Name empty) for idle stretches where nothing was recorded.
+type Segment struct {
+	Span  trace.SpanID
+	Track string
+	Name  string
+	Start float64
+	End   float64
+}
+
+// Dur returns the segment length.
+func (s Segment) Dur() float64 { return s.End - s.Start }
+
+// node is one interval span in the analysis tree.
+type node struct {
+	span     trace.Span
+	children []int32 // indices into tree.nodes, in span-ID order
+}
+
+// tree indexes the closed interval spans of a trace for the backward
+// critical-path sweep and the self-time fold.
+type tree struct {
+	nodes  []node
+	roots  []int32
+	tracks []string
+	// byID maps span index (ID-1) to node index, -1 for instants and
+	// open spans.
+	byID   []int32
+	lo, hi float64
+}
+
+// buildTree filters the trace down to closed interval spans and links
+// children to parents. Spans whose parent is missing, open, or an
+// instant are treated as roots, so a partially traced run still
+// profiles. Open spans should not occur — the telemetry layer flushes
+// before export — but are skipped defensively rather than poisoning the
+// walk with NaNs.
+func buildTree(spans []trace.Span, tracks []string) *tree {
+	t := &tree{
+		tracks: tracks,
+		byID:   make([]int32, len(spans)),
+		lo:     math.Inf(1),
+		hi:     math.Inf(-1),
+	}
+	for i := range t.byID {
+		t.byID[i] = -1
+	}
+	for i, sp := range spans {
+		if sp.Instant || sp.Open() {
+			continue
+		}
+		if sp.End < sp.Start {
+			sp.End = sp.Start
+		}
+		t.byID[i] = int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{span: sp})
+		if sp.Start < t.lo {
+			t.lo = sp.Start
+		}
+		if sp.End > t.hi {
+			t.hi = sp.End
+		}
+	}
+	for i := range t.nodes {
+		sp := t.nodes[i].span
+		pi := int(sp.Parent) - 1
+		if pi >= 0 && pi < len(t.byID) && t.byID[pi] >= 0 {
+			p := t.byID[pi]
+			t.nodes[p].children = append(t.nodes[p].children, int32(i))
+		} else {
+			t.roots = append(t.roots, int32(i))
+		}
+	}
+	if len(t.nodes) == 0 {
+		t.lo, t.hi = 0, 0
+	}
+	return t
+}
+
+func (t *tree) trackName(id trace.TrackID) string {
+	if int(id) < len(t.tracks) {
+		return t.tracks[id]
+	}
+	return "?"
+}
+
+// criticalPath performs the backward sweep: starting from the end of the
+// trace window, at every instant the path is owned by the innermost span
+// that ends last among those active. Children are visited in descending
+// (End, ID) order and clip the remaining window as they are descended
+// into, so each instant of [lo, hi] is attributed exactly once and the
+// segment lengths telescope to the makespan. The walk is deterministic:
+// ties on End break toward the higher span ID (the later-recorded span).
+func (t *tree) criticalPath() []Segment {
+	var segs []Segment
+	emit := func(idx int32, start, end float64) {
+		if end <= start {
+			return
+		}
+		if idx < 0 {
+			segs = append(segs, Segment{Start: start, End: end})
+			return
+		}
+		sp := t.nodes[idx].span
+		segs = append(segs, Segment{
+			Span: sp.ID, Track: t.trackName(sp.Track), Name: sp.Name,
+			Start: start, End: end,
+		})
+	}
+
+	// sortDesc orders candidate children by (End desc, ID desc) — the
+	// backward sweep always wants the latest-ending active span next.
+	sortDesc := func(kids []int32) []int32 {
+		out := make([]int32, len(kids))
+		copy(out, kids)
+		sort.Slice(out, func(a, b int) bool {
+			na, nb := t.nodes[out[a]].span, t.nodes[out[b]].span
+			if na.End != nb.End {
+				return na.End > nb.End
+			}
+			return na.ID > nb.ID
+		})
+		return out
+	}
+
+	var walk func(owner int32, kids []int32, lo, hi float64)
+	walk = func(owner int32, kids []int32, lo, hi float64) {
+		cursor := hi
+		for _, k := range sortDesc(kids) {
+			sp := t.nodes[k].span
+			ks := sp.Start
+			if ks < lo {
+				ks = lo
+			}
+			ke := sp.End
+			if ke > cursor {
+				ke = cursor
+			}
+			if ke <= ks {
+				continue
+			}
+			// The stretch between this child's end and the cursor belongs
+			// to the owner itself (or is idle at the top level).
+			emit(owner, ke, cursor)
+			walk(k, t.nodes[k].children, ks, ke)
+			cursor = ks
+			if cursor <= lo {
+				break
+			}
+		}
+		emit(owner, lo, cursor)
+	}
+
+	walk(-1, t.roots, t.lo, t.hi)
+
+	// The sweep emits segments back-to-front; flip into timeline order.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs
+}
+
+// selfTimes returns, for each node, its duration minus the union of its
+// children's overlap with it — the time the span itself was the deepest
+// active frame.
+func (t *tree) selfTimes() []float64 {
+	self := make([]float64, len(t.nodes))
+	var ivals [][2]float64
+	for i := range t.nodes {
+		sp := t.nodes[i].span
+		dur := sp.End - sp.Start
+		kids := t.nodes[i].children
+		if len(kids) == 0 {
+			self[i] = dur
+			continue
+		}
+		ivals = ivals[:0]
+		for _, k := range kids {
+			c := t.nodes[k].span
+			lo, hi := c.Start, c.End
+			if lo < sp.Start {
+				lo = sp.Start
+			}
+			if hi > sp.End {
+				hi = sp.End
+			}
+			if hi > lo {
+				ivals = append(ivals, [2]float64{lo, hi})
+			}
+		}
+		sort.Slice(ivals, func(a, b int) bool {
+			if ivals[a][0] != ivals[b][0] {
+				return ivals[a][0] < ivals[b][0]
+			}
+			return ivals[a][1] < ivals[b][1]
+		})
+		covered, end := 0.0, math.Inf(-1)
+		for _, iv := range ivals {
+			if iv[0] > end {
+				covered += iv[1] - iv[0]
+				end = iv[1]
+			} else if iv[1] > end {
+				covered += iv[1] - end
+				end = iv[1]
+			}
+		}
+		s := dur - covered
+		if s < 0 {
+			s = 0
+		}
+		self[i] = s
+	}
+	return self
+}
+
+// unionCover returns the total time covered by the given intervals.
+func unionCover(ivals [][2]float64) float64 {
+	sort.Slice(ivals, func(a, b int) bool {
+		if ivals[a][0] != ivals[b][0] {
+			return ivals[a][0] < ivals[b][0]
+		}
+		return ivals[a][1] < ivals[b][1]
+	})
+	covered, end := 0.0, math.Inf(-1)
+	for _, iv := range ivals {
+		if iv[0] > end {
+			covered += iv[1] - iv[0]
+			end = iv[1]
+		} else if iv[1] > end {
+			covered += iv[1] - end
+			end = iv[1]
+		}
+	}
+	return covered
+}

@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"failstutter/internal/trace"
+)
+
+const eps = 1e-9
+
+// buildTrace records a three-level scenario with a known critical path:
+//
+//	track "job":    root span [0, 10]
+//	track "disk-0": child [1, 4]
+//	track "disk-1": child [2, 7]   <- ends later, owns [4,7] and [2,4]
+//	track "disk-1": grandchild [3, 5] under the [2,7] child
+//
+// plus an unrelated root [12, 14] after an idle gap [10, 12].
+func buildTrace(t *testing.T) *trace.Tracer {
+	t.Helper()
+	tr := trace.NewTracer()
+	job := tr.Track("job")
+	d0 := tr.Track("disk-0")
+	d1 := tr.Track("disk-1")
+
+	root := tr.Begin(job, "job:test", "striper", 0, 0)
+	c0 := tr.Begin(d0, "write", "disk", root, 1)
+	c1 := tr.Begin(d1, "write", "disk", root, 2)
+	g := tr.Begin(d1, "service", "station", c1, 3)
+	tr.End(g, 5)
+	tr.End(c0, 4)
+	tr.End(c1, 7)
+	tr.End(root, 10)
+
+	late := tr.Begin(job, "job:late", "striper", 0, 12)
+	tr.End(late, 14)
+	return tr
+}
+
+func TestCriticalPathAttribution(t *testing.T) {
+	r := Analyze(buildTrace(t), nil)
+
+	if got, want := r.Makespan, 14.0; math.Abs(got-want) > eps {
+		t.Fatalf("makespan %v, want %v", got, want)
+	}
+	if math.Abs(r.Idle-2) > eps {
+		t.Fatalf("idle %v, want 2 (the [10,12] gap)", r.Idle)
+	}
+	if math.Abs(r.CriticalLen-12) > eps {
+		t.Fatalf("critical length %v, want 12", r.CriticalLen)
+	}
+
+	// Segments must tile the window exactly: contiguous, in order.
+	prev := r.Start
+	var sum float64
+	for _, seg := range r.Segments {
+		if math.Abs(seg.Start-prev) > eps {
+			t.Fatalf("segment gap: previous ended %v, next starts %v", prev, seg.Start)
+		}
+		prev = seg.End
+		sum += seg.Dur()
+	}
+	if math.Abs(prev-r.End) > eps || math.Abs(sum-r.Makespan) > eps {
+		t.Fatalf("segments cover [%v..%v] sum %v, want window [%v..%v]", r.Start, prev, sum, r.Start, r.End)
+	}
+
+	// The backward sweep picks the latest-ending active span: disk-1's
+	// child [2,7] owns [5,7] (after its grandchild) and [2,3]; the
+	// grandchild owns [3,5]; disk-0 is fully shadowed except nothing —
+	// its [1,4] interval is covered by disk-1's [2,7] walk only below
+	// t=2, so disk-0 owns [1,2].
+	want := map[string]float64{
+		"job":    4 + 2, // [0,1]+[7,10] of the first job, [12,14] of the late job
+		"disk-0": 1,     // [1,2]
+		"disk-1": 3 + 2, // [2,3]+[5,7] child self, [3,5] grandchild
+		"(idle)": 2,
+	}
+	got := map[string]float64{}
+	for _, s := range r.Shares {
+		got[s.Component] = s.Seconds
+	}
+	for comp, sec := range want {
+		if math.Abs(got[comp]-sec) > eps {
+			t.Fatalf("share[%s] = %v, want %v (all: %v)", comp, got[comp], sec, got)
+		}
+	}
+}
+
+func TestSelfTimesAndFoldedStacks(t *testing.T) {
+	r := Analyze(buildTrace(t), nil)
+
+	// Self time is duration minus child-union: the [2,7] disk-1 span has
+	// a [3,5] child, so self = 5-2 = 3; the root [0,10] has children
+	// covering [1,7], so self = 10-6 = 4.
+	selfByFrame := map[string]float64{}
+	for _, fs := range r.FrameStats {
+		selfByFrame[fs.Frame] = fs.Self
+	}
+	want := map[string]float64{
+		"job:job:test":   4,
+		"job:job:late":   2,
+		"disk-0:write":   3,
+		"disk-1:write":   3,
+		"disk-1:service": 2,
+	}
+	for frame, sec := range want {
+		if math.Abs(selfByFrame[frame]-sec) > eps {
+			t.Fatalf("self[%s] = %v, want %v", frame, selfByFrame[frame], sec)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+	folded := sb.String()
+	for _, line := range []string{
+		"job:job:test 4000000000",
+		"job:job:test;disk-1:write 3000000000",
+		"job:job:test;disk-1:write;disk-1:service 2000000000",
+		"job:job:test;disk-0:write 3000000000",
+	} {
+		if !strings.Contains(folded, line+"\n") {
+			t.Fatalf("folded output missing %q:\n%s", line, folded)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(folded, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("folded output not sorted: %q then %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestComponentProfiles(t *testing.T) {
+	r := Analyze(buildTrace(t), nil)
+	byName := map[string]*Component{}
+	for i := range r.Components {
+		byName[r.Components[i].Name] = &r.Components[i]
+	}
+	d1 := byName["disk-1"]
+	if d1 == nil {
+		t.Fatal("no disk-1 component")
+	}
+	// disk-1 carries [2,7] and nested [3,5]: union 5s, not 7s.
+	if math.Abs(d1.Busy-5) > eps {
+		t.Fatalf("disk-1 busy %v, want 5 (union, not sum)", d1.Busy)
+	}
+	if math.Abs(d1.Utilization-5.0/14.0) > eps {
+		t.Fatalf("disk-1 utilization %v, want 5/14", d1.Utilization)
+	}
+	// The station-cat "service" span wins the service histogram.
+	if d1.Service == nil || d1.Service.Count() != 1 {
+		t.Fatalf("disk-1 service histogram = %+v, want exactly the service span", d1.Service)
+	}
+	if math.Abs(d1.Service.Mean()-2) > eps {
+		t.Fatalf("disk-1 service mean %v, want 2", d1.Service.Mean())
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	r := Analyze(trace.NewTracer(), nil)
+	if r.Makespan != 0 || len(r.Segments) != 0 || len(r.Components) != 0 {
+		t.Fatalf("empty trace produced non-empty report: %+v", r)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSpansAndInstantsSkipped(t *testing.T) {
+	tr := trace.NewTracer()
+	tk := tr.Track("a")
+	sp := tr.Begin(tk, "closed", "x", 0, 0)
+	tr.End(sp, 2)
+	tr.Begin(tk, "open", "x", 0, 1) // never ended
+	tr.Instant(tk, "marker", "x", 1.5)
+	r := Analyze(tr, nil)
+	if math.Abs(r.Makespan-2) > eps {
+		t.Fatalf("makespan %v, want 2 (open span and instant must not count)", r.Makespan)
+	}
+	if len(r.FrameStats) != 1 || r.FrameStats[0].Frame != "a:closed" {
+		t.Fatalf("frames %+v, want only a:closed", r.FrameStats)
+	}
+}

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Frame is one aggregated stack in the folded flame output: Stack joins
+// the ancestry chain root-first with ';', each element "track:name".
+// Self is the summed self time (seconds) of every span with this exact
+// ancestry; Count is how many spans contributed.
+type Frame struct {
+	Stack string
+	Self  float64
+	Count int
+}
+
+// FrameStat aggregates all spans sharing a (track, name) identity
+// regardless of ancestry — the rows of the top-N table.
+type FrameStat struct {
+	Frame string // "track:name"
+	Self  float64
+	Total float64
+	Count int
+}
+
+// frameLabel renders one span as a stack frame.
+func (t *tree) frameLabel(idx int32) string {
+	sp := t.nodes[idx].span
+	return t.trackName(sp.Track) + ":" + sp.Name
+}
+
+// foldStacks aggregates self time by full ancestry chain and by frame
+// identity. Stacks are memoized per node, so the chain walk is linear in
+// the span count.
+func (t *tree) foldStacks(self []float64) ([]Frame, []FrameStat) {
+	stacks := make([]string, len(t.nodes))
+	var stackOf func(idx int32) string
+	stackOf = func(idx int32) string {
+		if stacks[idx] != "" {
+			return stacks[idx]
+		}
+		sp := t.nodes[idx].span
+		label := t.frameLabel(idx)
+		pi := int(sp.Parent) - 1
+		if pi >= 0 && pi < len(t.byID) && t.byID[pi] >= 0 {
+			label = stackOf(t.byID[pi]) + ";" + label
+		}
+		stacks[idx] = label
+		return label
+	}
+
+	byStack := make(map[string]*Frame)
+	byFrame := make(map[string]*FrameStat)
+	for i := range t.nodes {
+		stack := stackOf(int32(i))
+		f := byStack[stack]
+		if f == nil {
+			f = &Frame{Stack: stack}
+			byStack[stack] = f
+		}
+		f.Self += self[i]
+		f.Count++
+
+		label := t.frameLabel(int32(i))
+		fs := byFrame[label]
+		if fs == nil {
+			fs = &FrameStat{Frame: label}
+			byFrame[label] = fs
+		}
+		sp := t.nodes[i].span
+		fs.Self += self[i]
+		fs.Total += sp.End - sp.Start
+		fs.Count++
+	}
+
+	frames := make([]Frame, 0, len(byStack))
+	for _, f := range byStack {
+		frames = append(frames, *f)
+	}
+	sort.Slice(frames, func(a, b int) bool { return frames[a].Stack < frames[b].Stack })
+
+	stats := make([]FrameStat, 0, len(byFrame))
+	for _, fs := range byFrame {
+		stats = append(stats, *fs)
+	}
+	sort.Slice(stats, func(a, b int) bool {
+		if stats[a].Self != stats[b].Self {
+			return stats[a].Self > stats[b].Self
+		}
+		return stats[a].Frame < stats[b].Frame
+	})
+	return frames, stats
+}
+
+// vtNanos converts virtual seconds to integer virtual nanoseconds — the
+// sample unit of the folded output. Rounding to integers keeps the
+// artifact byte-identical across platforms and friendly to flame-graph
+// tooling that expects integral counts.
+func vtNanos(sec float64) int64 {
+	if sec <= 0 {
+		return 0
+	}
+	return int64(sec*1e9 + 0.5)
+}
+
+// WriteFolded emits the Brendan Gregg collapsed-stack format, one
+// "stack count" line per aggregated ancestry, counts in virtual
+// nanoseconds, sorted by stack. speedscope, inferno and flamegraph.pl
+// all ingest this directly.
+func (r *Report) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Frames {
+		n := vtNanos(f.Self)
+		if n == 0 {
+			continue
+		}
+		bw.WriteString(f.Stack)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(n, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,211 @@
+package profile
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+
+	"failstutter/internal/trace"
+)
+
+// jnum writes a float in canonical shortest-roundtrip form; NaN and Inf
+// export as null, matching the registry's JSON convention.
+func jnum(bw *bufio.Writer, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		bw.WriteString("null")
+		return
+	}
+	bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func jstr(bw *bufio.Writer, s string) {
+	bw.WriteString(strconv.Quote(s))
+}
+
+func jint(bw *bufio.Writer, v int64) {
+	bw.WriteString(strconv.FormatInt(v, 10))
+}
+
+// jhist writes a histogram summary object, or null for a nil histogram.
+func jhist(bw *bufio.Writer, h *trace.Histogram) {
+	if h == nil {
+		bw.WriteString("null")
+		return
+	}
+	bw.WriteString(`{"count":`)
+	jint(bw, int64(h.Count()))
+	bw.WriteString(`,"mean":`)
+	jnum(bw, h.Mean())
+	bw.WriteString(`,"min":`)
+	jnum(bw, h.Min())
+	bw.WriteString(`,"max":`)
+	jnum(bw, h.Max())
+	bw.WriteString(`,"p50":`)
+	jnum(bw, h.Quantile(0.5))
+	bw.WriteString(`,"p99":`)
+	jnum(bw, h.Quantile(0.99))
+	bw.WriteString(`}`)
+}
+
+// WriteJSON dumps the full report as byte-deterministic JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"schema":"fstutter-profile/1","window":{"start":`)
+	jnum(bw, r.Start)
+	bw.WriteString(`,"end":`)
+	jnum(bw, r.End)
+	bw.WriteString(`,"makespan":`)
+	jnum(bw, r.Makespan)
+	bw.WriteString(`},"critical_path":{"attributed":`)
+	jnum(bw, r.CriticalLen)
+	bw.WriteString(`,"idle":`)
+	jnum(bw, r.Idle)
+	bw.WriteString(`,"shares":[`)
+	for i, s := range r.Shares {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`{"component":`)
+		jstr(bw, s.Component)
+		bw.WriteString(`,"seconds":`)
+		jnum(bw, s.Seconds)
+		bw.WriteString(`,"fraction":`)
+		jnum(bw, s.Fraction)
+		bw.WriteString(`}`)
+	}
+	bw.WriteString(`],"segments":[`)
+	for i, seg := range r.Segments {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		bw.WriteString(`{"span":`)
+		jint(bw, int64(seg.Span))
+		bw.WriteString(`,"track":`)
+		jstr(bw, seg.Track)
+		bw.WriteString(`,"name":`)
+		jstr(bw, seg.Name)
+		bw.WriteString(`,"start":`)
+		jnum(bw, seg.Start)
+		bw.WriteString(`,"end":`)
+		jnum(bw, seg.End)
+		bw.WriteString(`}`)
+	}
+	bw.WriteString(`]},"frames":[`)
+	for i, fs := range r.FrameStats {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		bw.WriteString(`{"frame":`)
+		jstr(bw, fs.Frame)
+		bw.WriteString(`,"self":`)
+		jnum(bw, fs.Self)
+		bw.WriteString(`,"total":`)
+		jnum(bw, fs.Total)
+		bw.WriteString(`,"count":`)
+		jint(bw, int64(fs.Count))
+		bw.WriteString(`}`)
+	}
+	bw.WriteString(`],"components":[`)
+	for i := range r.Components {
+		c := &r.Components[i]
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		bw.WriteString(`{"name":`)
+		jstr(bw, c.Name)
+		bw.WriteString(`,"spans":`)
+		jint(bw, int64(c.Spans))
+		bw.WriteString(`,"busy":`)
+		jnum(bw, c.Busy)
+		bw.WriteString(`,"utilization":`)
+		jnum(bw, c.Utilization)
+		bw.WriteString(`,"service":`)
+		jhist(bw, c.Service)
+		bw.WriteString(`,"wait":`)
+		jhist(bw, c.Wait)
+		bw.WriteString(`,"queue":`)
+		if c.Queue == nil {
+			bw.WriteString("null")
+		} else {
+			bw.WriteString(`{"samples":`)
+			jint(bw, int64(c.Queue.Samples))
+			bw.WriteString(`,"max_depth":`)
+			jnum(bw, c.Queue.MaxDepth)
+			bw.WriteString(`,"mean_depth":`)
+			jnum(bw, c.Queue.MeanDepth)
+			bw.WriteString(`,"max_backlog":`)
+			jnum(bw, c.Queue.MaxBacklog)
+			bw.WriteString(`,"mean_backlog":`)
+			jnum(bw, c.Queue.MeanBacklog)
+			bw.WriteString(`}`)
+		}
+		bw.WriteString(`}`)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// WriteJSON dumps the availability analysis as byte-deterministic JSON.
+func (r *SLOReport) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"schema":"fstutter-slo/1","threshold":`)
+	jnum(bw, r.Threshold)
+	bw.WriteString(`,"auto":`)
+	bw.WriteString(strconv.FormatBool(r.Auto))
+	bw.WriteString(`,"category":`)
+	jstr(bw, r.Category)
+	bw.WriteString(`,"offered":`)
+	jint(bw, int64(r.Offered))
+	bw.WriteString(`,"within":`)
+	jint(bw, int64(r.Within))
+	bw.WriteString(`,"availability":`)
+	jnum(bw, r.Availability)
+	bw.WriteString(`,"scenarios":[`)
+	for i := range r.Scenarios {
+		sc := &r.Scenarios[i]
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		bw.WriteString(`{"label":`)
+		jstr(bw, sc.Label)
+		bw.WriteString(`,"start":`)
+		jnum(bw, sc.Start)
+		bw.WriteString(`,"end":`)
+		jnum(bw, sc.End)
+		bw.WriteString(`,"offered":`)
+		jint(bw, int64(sc.Offered))
+		bw.WriteString(`,"within":`)
+		jint(bw, int64(sc.Within))
+		bw.WriteString(`,"availability":`)
+		jnum(bw, sc.Availability)
+		bw.WriteString(`,"p50":`)
+		jnum(bw, sc.P50)
+		bw.WriteString(`,"p99":`)
+		jnum(bw, sc.P99)
+		bw.WriteString(`,"windows":[`)
+		for j, win := range sc.Windows {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`{"start":`)
+			jnum(bw, win.Start)
+			bw.WriteString(`,"end":`)
+			jnum(bw, win.End)
+			bw.WriteString(`,"offered":`)
+			jint(bw, int64(win.Offered))
+			bw.WriteString(`,"within":`)
+			jint(bw, int64(win.Within))
+			bw.WriteString(`,"availability":`)
+			jnum(bw, win.Availability)
+			bw.WriteString(`}`)
+		}
+		bw.WriteString(`]}`)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,151 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"failstutter/internal/trace"
+)
+
+func art(benches ...Bench) *BenchArtifact {
+	return &BenchArtifact{Schema: BenchSchema, Seed: 42, Quick: true, Benchmarks: benches}
+}
+
+func samples(base float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Small deterministic jitter so medians are realistic, ±2%.
+		out[i] = base * (1 + 0.02*float64(i%3-1))
+	}
+	return out
+}
+
+func TestPerfDiffIdenticalInputsPass(t *testing.T) {
+	a := art(
+		Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(1000, 7)},
+		Bench{Name: "BenchmarkStation", Unit: "ns/op", Samples: samples(250, 7)},
+	)
+	rep := PerfDiff(a, a, PerfDiffConfig{})
+	if rep.Failed() {
+		t.Fatalf("identical artifacts flagged: %+v", rep.Deltas)
+	}
+	for _, d := range rep.Deltas {
+		if d.Status != DiffOK {
+			t.Fatalf("benchmark %s status %s on identical inputs", d.Name, d.Status)
+		}
+	}
+}
+
+func TestPerfDiffFlagsTwoXSlower(t *testing.T) {
+	old := art(Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(1000, 7)})
+	slow := art(Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(2000, 7)})
+	rep := PerfDiff(old, slow, PerfDiffConfig{})
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("2x-slower fixture not flagged: %+v", rep)
+	}
+	d := rep.Deltas[0]
+	if d.Status != DiffRegression {
+		t.Fatalf("status %s, want regression", d.Status)
+	}
+	if d.Ratio > 0.55 || d.Ratio < 0.45 {
+		t.Fatalf("throughput ratio %v, want ~0.5", d.Ratio)
+	}
+	if d.Verdict != "perf-faulty" {
+		t.Fatalf("verdict %q, want perf-faulty", d.Verdict)
+	}
+}
+
+func TestPerfDiffMissingAndNew(t *testing.T) {
+	old := art(
+		Bench{Name: "BenchmarkGone", Unit: "ns/op", Samples: samples(100, 5)},
+		Bench{Name: "BenchmarkKept", Unit: "ns/op", Samples: samples(100, 5)},
+	)
+	now := art(
+		Bench{Name: "BenchmarkKept", Unit: "ns/op", Samples: samples(100, 5)},
+		Bench{Name: "BenchmarkAdded", Unit: "ns/op", Samples: samples(100, 5)},
+	)
+	rep := PerfDiff(old, now, PerfDiffConfig{})
+	got := map[string]string{}
+	for _, d := range rep.Deltas {
+		got[d.Name] = d.Status
+	}
+	if got["BenchmarkGone"] != DiffMissing {
+		t.Fatalf("vanished benchmark status %q, want missing", got["BenchmarkGone"])
+	}
+	if got["BenchmarkAdded"] != DiffNew || got["BenchmarkKept"] != DiffOK {
+		t.Fatalf("statuses %v", got)
+	}
+	if !rep.Failed() {
+		t.Fatal("a vanished benchmark must fail the gate")
+	}
+}
+
+func TestPerfDiffImprovedAndDeclining(t *testing.T) {
+	old := art(Bench{Name: "BenchmarkFast", Unit: "ns/op", Samples: samples(1000, 7)})
+	fast := art(Bench{Name: "BenchmarkFast", Unit: "ns/op", Samples: samples(500, 7)})
+	rep := PerfDiff(old, fast, PerfDiffConfig{})
+	if rep.Failed() || rep.Improved != 1 {
+		t.Fatalf("2x-faster not reported improved: %+v", rep)
+	}
+
+	// A steady slide that stays above the 0.8 window threshold at the
+	// median must still trip the trend warning.
+	decl := make([]float64, 8)
+	for i := range decl {
+		decl[i] = 1000 * (1 + 0.025*float64(i)) // 1000 -> 1175 ns/op
+	}
+	oldD := art(Bench{Name: "BenchmarkDrift", Unit: "ns/op", Samples: decl[:4]})
+	newD := art(Bench{Name: "BenchmarkDrift", Unit: "ns/op", Samples: decl[4:]})
+	repD := PerfDiff(oldD, newD, PerfDiffConfig{})
+	if repD.Failed() {
+		t.Fatalf("drift inside threshold flagged as regression: %+v", repD.Deltas)
+	}
+	if repD.Declining != 1 {
+		t.Fatalf("sustained decline not warned: %+v", repD.Deltas)
+	}
+}
+
+func TestPerfDiffAuditTrail(t *testing.T) {
+	log := trace.NewAuditLog()
+	old := art(Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(1000, 7)})
+	slow := art(Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(2000, 7)})
+	PerfDiff(old, slow, PerfDiffConfig{Audit: log})
+	saw := false
+	for _, r := range log.Records() {
+		if r.Component == "BenchmarkKernel" && strings.Contains(r.To, "perf") {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatalf("no audited verdict transition for the regressed benchmark (%d records)", log.Len())
+	}
+}
+
+func TestBenchArtifactRoundTripCanonical(t *testing.T) {
+	a := art(
+		Bench{Name: "BenchmarkB", Unit: "ns/op", Samples: []float64{2.5, 3.125}},
+		Bench{Name: "BenchmarkA", Unit: "ns/op", Samples: []float64{0.1}},
+	)
+	var s1 strings.Builder
+	if err := a.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(strings.NewReader(s1.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 strings.Builder
+	if err := back.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("bench artifact round trip not byte-identical:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	// Canonical order: sorted by name regardless of input order.
+	if strings.Index(s1.String(), "BenchmarkA") > strings.Index(s1.String(), "BenchmarkB") {
+		t.Fatal("canonical artifact not sorted by benchmark name")
+	}
+	if _, err := ReadBench(strings.NewReader(`{"schema":"bogus/9"}`)); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"failstutter/internal/trace"
+)
+
+// PathShare is one component's slice of the critical path.
+type PathShare struct {
+	Component string // track name, or "(idle)"
+	Seconds   float64
+	Fraction  float64
+}
+
+// Report is the full profiling analysis of one experiment trace.
+type Report struct {
+	// Start/End bound the trace window; Makespan is their difference.
+	Start, End, Makespan float64
+	// Segments is the critical path in timeline order: every instant of
+	// the window attributed to exactly one span (or to idle).
+	Segments []Segment
+	// Shares aggregates the segments by component, sorted by seconds
+	// descending; their seconds telescope to the makespan.
+	Shares []PathShare
+	// CriticalLen is the attributed (non-idle) path length; Idle is the
+	// remainder of the window.
+	CriticalLen float64
+	Idle        float64
+	// Frames is the folded-stack aggregation (sorted by stack);
+	// FrameStats the per-frame self/total table (sorted by self desc).
+	Frames     []Frame
+	FrameStats []FrameStat
+	// Components is the per-track utilization and queue profile, sorted
+	// by name.
+	Components []Component
+}
+
+// Analyze profiles a recorded trace: critical path, folded stacks, and
+// per-component profiles. reg may be nil when no occupancy series were
+// sampled. The result is deterministic for a deterministic trace.
+func Analyze(tr *trace.Tracer, reg *trace.Registry) *Report {
+	t := buildTree(tr.Spans(), tr.Tracks())
+	r := &Report{Start: t.lo, End: t.hi, Makespan: t.hi - t.lo}
+	r.Segments = t.criticalPath()
+
+	shares := make(map[string]float64)
+	for _, seg := range r.Segments {
+		if seg.Span == 0 {
+			r.Idle += seg.Dur()
+			shares["(idle)"] += seg.Dur()
+		} else {
+			r.CriticalLen += seg.Dur()
+			shares[seg.Track] += seg.Dur()
+		}
+	}
+	for comp, sec := range shares {
+		ps := PathShare{Component: comp, Seconds: sec}
+		if r.Makespan > 0 {
+			ps.Fraction = sec / r.Makespan
+		}
+		r.Shares = append(r.Shares, ps)
+	}
+	sort.Slice(r.Shares, func(a, b int) bool {
+		if r.Shares[a].Seconds != r.Shares[b].Seconds {
+			return r.Shares[a].Seconds > r.Shares[b].Seconds
+		}
+		return r.Shares[a].Component < r.Shares[b].Component
+	})
+
+	r.Frames, r.FrameStats = t.foldStacks(t.selfTimes())
+	r.Components = buildComponents(t, reg)
+	return r
+}
+
+// WriteText renders the critical-path attribution, the top-N hot frames
+// by self time, and the component profile as an aligned text report.
+func (r *Report) WriteText(w io.Writer, topN int) error {
+	if topN <= 0 {
+		topN = 15
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace window [%.6g, %.6g]s  makespan %.6gs  critical path %.6gs  idle %.6gs\n\n",
+		r.Start, r.End, r.Makespan, r.CriticalLen, r.Idle)
+
+	fmt.Fprintf(bw, "critical-path attribution by component:\n")
+	fmt.Fprintf(bw, "  %-24s %12s %8s\n", "component", "seconds", "share")
+	for _, s := range r.Shares {
+		fmt.Fprintf(bw, "  %-24s %12.6g %7.2f%%\n", s.Component, s.Seconds, 100*s.Fraction)
+	}
+
+	fmt.Fprintf(bw, "\nhot frames by self time (top %d of %d):\n", topN, len(r.FrameStats))
+	fmt.Fprintf(bw, "  %-36s %12s %12s %8s\n", "frame", "self", "total", "count")
+	for i, fs := range r.FrameStats {
+		if i >= topN {
+			break
+		}
+		fmt.Fprintf(bw, "  %-36s %12.6g %12.6g %8d\n", fs.Frame, fs.Self, fs.Total, fs.Count)
+	}
+
+	fmt.Fprintf(bw, "\ncomponent profiles:\n")
+	fmt.Fprintf(bw, "  %-24s %8s %9s %10s %10s %10s %10s\n",
+		"component", "spans", "util", "svc-mean", "svc-p99", "q-mean", "q-max")
+	for _, c := range r.Components {
+		svcMean, svcP99 := "-", "-"
+		if c.Service != nil {
+			svcMean = fmt.Sprintf("%.4g", c.Service.Mean())
+			svcP99 = fmt.Sprintf("%.4g", c.Service.Quantile(0.99))
+		}
+		qMean, qMax := "-", "-"
+		if c.Queue != nil {
+			qMean = fmt.Sprintf("%.3g", c.Queue.MeanDepth)
+			qMax = fmt.Sprintf("%.3g", c.Queue.MaxDepth)
+		}
+		fmt.Fprintf(bw, "  %-24s %8d %8.2f%% %10s %10s %10s %10s\n",
+			c.Name, c.Spans, 100*c.Utilization, svcMean, svcP99, qMean, qMax)
+	}
+	return bw.Flush()
+}

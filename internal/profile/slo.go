@@ -1,0 +1,241 @@
+package profile
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"failstutter/internal/trace"
+)
+
+// SLOConfig configures the availability analysis.
+type SLOConfig struct {
+	// Threshold is the acceptable request latency in virtual seconds —
+	// Gray & Reuter's criterion: the system is available when it serves
+	// requests within this bound. Zero or negative selects an automatic
+	// threshold of 5x the median request latency of the whole trace.
+	Threshold float64
+	// Windows is the number of equal-width availability windows per
+	// scenario (default 20).
+	Windows int
+	// Gap is the idle stretch (in trace seconds) that separates two
+	// scenarios. The telemetry layer lays sub-runs out with a 1s gap, so
+	// the default of 0.5 clusters each sub-run into its own scenario.
+	Gap float64
+}
+
+// SLOWindow is one availability sample: of the requests offered in
+// [Start, End), how many completed within the threshold. Availability is
+// NaN when the window offered nothing.
+type SLOWindow struct {
+	Start, End   float64
+	Offered      int
+	Within       int
+	Availability float64
+}
+
+// SLOScenario is the per-scenario summary: one RAID scenario, cluster
+// run, or other sub-run of the experiment timeline.
+type SLOScenario struct {
+	Label        string
+	Start, End   float64
+	Offered      int
+	Within       int
+	Availability float64
+	P50, P99     float64
+	Windows      []SLOWindow
+}
+
+// SLOReport is the experiment-level availability analysis.
+type SLOReport struct {
+	Threshold    float64
+	Auto         bool // Threshold was derived from the data
+	Category     string
+	Offered      int
+	Within       int
+	Availability float64
+	Scenarios    []SLOScenario
+}
+
+// requestCats is the preference order for which span category counts as
+// "a request": array-level operations when present, then DHT puts, then
+// raw device accesses, then bare station service intervals.
+var requestCats = []string{"raid", "dht", "disk", "station"}
+
+// AnalyzeSLO derives windowed availability from the span DAG: it picks
+// the trace's request population, clusters requests into scenarios by
+// timeline gaps, and scores each against the latency threshold.
+func AnalyzeSLO(tr *trace.Tracer, cfg SLOConfig) *SLOReport {
+	spans := tr.Spans()
+	if cfg.Windows <= 0 {
+		cfg.Windows = 20
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 0.5
+	}
+
+	var reqs []trace.Span
+	var category string
+	for _, cat := range requestCats {
+		for _, sp := range spans {
+			if sp.Cat != cat || sp.Instant || sp.Open() {
+				continue
+			}
+			if cat == "station" && sp.Name != "service" {
+				continue
+			}
+			reqs = append(reqs, sp)
+		}
+		if len(reqs) > 0 {
+			category = cat
+			break
+		}
+	}
+	rep := &SLOReport{Threshold: cfg.Threshold, Category: category}
+	if len(reqs) == 0 {
+		return rep
+	}
+
+	sort.SliceStable(reqs, func(a, b int) bool {
+		if reqs[a].Start != reqs[b].Start {
+			return reqs[a].Start < reqs[b].Start
+		}
+		return reqs[a].ID < reqs[b].ID
+	})
+
+	if cfg.Threshold <= 0 {
+		lats := make([]float64, len(reqs))
+		for i, sp := range reqs {
+			lats[i] = sp.End - sp.Start
+		}
+		sort.Float64s(lats)
+		rep.Threshold = 5 * quantileOf(lats, 0.5)
+		rep.Auto = true
+	}
+
+	// Cluster into scenarios: a request starting more than Gap after
+	// everything seen so far begins a new scenario.
+	var groups [][]trace.Span
+	cur := []trace.Span{reqs[0]}
+	curEnd := reqs[0].End
+	for _, sp := range reqs[1:] {
+		if sp.Start > curEnd+cfg.Gap {
+			groups = append(groups, cur)
+			cur = nil
+			curEnd = math.Inf(-1)
+		}
+		cur = append(cur, sp)
+		if sp.End > curEnd {
+			curEnd = sp.End
+		}
+	}
+	groups = append(groups, cur)
+
+	jobs := jobSpans(spans)
+	for i, g := range groups {
+		sc := scoreScenario(g, rep.Threshold, cfg.Windows)
+		sc.Label = "scenario-" + strconv.Itoa(i+1)
+		if names := jobsOverlapping(jobs, sc.Start, sc.End); names != "" {
+			sc.Label += " (" + names + ")"
+		}
+		rep.Offered += sc.Offered
+		rep.Within += sc.Within
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	if rep.Offered > 0 {
+		rep.Availability = float64(rep.Within) / float64(rep.Offered)
+	}
+	return rep
+}
+
+// scoreScenario scores one request cluster against the threshold.
+func scoreScenario(g []trace.Span, threshold float64, windows int) SLOScenario {
+	sc := SLOScenario{Start: g[0].Start, End: g[0].End}
+	lats := make([]float64, 0, len(g))
+	for _, sp := range g {
+		if sp.End > sc.End {
+			sc.End = sp.End
+		}
+		lats = append(lats, sp.End-sp.Start)
+	}
+	sc.Offered = len(g)
+	for _, l := range lats {
+		if l <= threshold {
+			sc.Within++
+		}
+	}
+	sc.Availability = float64(sc.Within) / float64(sc.Offered)
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	sc.P50 = quantileOf(sorted, 0.5)
+	sc.P99 = quantileOf(sorted, 0.99)
+
+	span := sc.End - sc.Start
+	if span <= 0 {
+		span = 1
+	}
+	wins := make([]SLOWindow, windows)
+	for i := range wins {
+		wins[i].Start = sc.Start + span*float64(i)/float64(windows)
+		wins[i].End = sc.Start + span*float64(i+1)/float64(windows)
+		wins[i].Availability = math.NaN()
+	}
+	for i, sp := range g {
+		w := int((sp.Start - sc.Start) / span * float64(windows))
+		if w >= windows {
+			w = windows - 1
+		}
+		wins[w].Offered++
+		if lats[i] <= threshold {
+			wins[w].Within++
+		}
+	}
+	for i := range wins {
+		if wins[i].Offered > 0 {
+			wins[i].Availability = float64(wins[i].Within) / float64(wins[i].Offered)
+		}
+	}
+	sc.Windows = wins
+	return sc
+}
+
+// quantileOf returns the nearest-rank quantile of an ascending slice.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// jobSpans extracts the striper job spans used to label scenarios.
+func jobSpans(spans []trace.Span) []trace.Span {
+	var out []trace.Span
+	for _, sp := range spans {
+		if sp.Cat == "striper" && !sp.Instant && !sp.Open() {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// jobsOverlapping names the jobs whose spans overlap [start, end],
+// joined with '+'.
+func jobsOverlapping(jobs []trace.Span, start, end float64) string {
+	var names []string
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j.Start < end && j.End > start {
+			name := strings.TrimPrefix(j.Name, "job:")
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	return strings.Join(names, "+")
+}

@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"failstutter/internal/trace"
+)
+
+// sloTrace lays out two scenarios separated by the telemetry layer's 1s
+// rebase gap: scenario 1 has 4 fast raid ops (0.1s), scenario 2 has 2
+// fast and 2 slow (1.0s) ops.
+func sloTrace() *trace.Tracer {
+	tr := trace.NewTracer()
+	raid := tr.Track("raid-10")
+	job := tr.Track("jobs")
+
+	j1 := tr.Begin(job, "job:steady", "striper", 0, 0)
+	for i := 0; i < 4; i++ {
+		at := float64(i) * 0.2
+		sp := tr.Begin(raid, "mirrored-write", "raid", 0, at)
+		tr.End(sp, at+0.1)
+	}
+	tr.End(j1, 0.8)
+
+	base := 2.0 // 0.8 end + 1.2s gap
+	j2 := tr.Begin(job, "job:stutter", "striper", 0, base)
+	for i := 0; i < 4; i++ {
+		at := base + float64(i)*0.3
+		sp := tr.Begin(raid, "mirrored-write", "raid", 0, at)
+		lat := 0.1
+		if i >= 2 {
+			lat = 1.0
+		}
+		tr.End(sp, at+lat)
+	}
+	tr.End(j2, base+1.9)
+	return tr
+}
+
+func TestSLOScenarioGroupingAndAvailability(t *testing.T) {
+	rep := AnalyzeSLO(sloTrace(), SLOConfig{Threshold: 0.5, Windows: 4})
+	if rep.Category != "raid" {
+		t.Fatalf("category %q, want raid", rep.Category)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2: %+v", len(rep.Scenarios), rep.Scenarios)
+	}
+	s1, s2 := rep.Scenarios[0], rep.Scenarios[1]
+	if s1.Offered != 4 || s1.Within != 4 || s1.Availability != 1 {
+		t.Fatalf("scenario 1 = %+v, want fully available", s1)
+	}
+	if s2.Offered != 4 || s2.Within != 2 || math.Abs(s2.Availability-0.5) > eps {
+		t.Fatalf("scenario 2 = %+v, want availability 0.5", s2)
+	}
+	if !strings.Contains(s1.Label, "steady") || !strings.Contains(s2.Label, "stutter") {
+		t.Fatalf("labels %q / %q missing job names", s1.Label, s2.Label)
+	}
+	if rep.Offered != 8 || rep.Within != 6 || math.Abs(rep.Availability-0.75) > eps {
+		t.Fatalf("overall %d/%d=%v, want 6/8", rep.Within, rep.Offered, rep.Availability)
+	}
+
+	// Windowed series: scenario 2's early windows are available, its
+	// late windows are not.
+	var sawGood, sawBad bool
+	for _, w := range s2.Windows {
+		if w.Offered == 0 {
+			continue
+		}
+		if w.Availability == 1 {
+			sawGood = true
+		}
+		if w.Availability == 0 {
+			sawBad = true
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatalf("scenario 2 windows lack the good->bad transition: %+v", s2.Windows)
+	}
+}
+
+func TestSLOAutoThreshold(t *testing.T) {
+	rep := AnalyzeSLO(sloTrace(), SLOConfig{})
+	if !rep.Auto {
+		t.Fatal("auto threshold not marked")
+	}
+	// Median latency is 0.1s (6 of 8 requests), so auto = 0.5s.
+	if math.Abs(rep.Threshold-0.5) > eps {
+		t.Fatalf("auto threshold %v, want 0.5", rep.Threshold)
+	}
+}
+
+func TestSLOEmptyTrace(t *testing.T) {
+	rep := AnalyzeSLO(trace.NewTracer(), SLOConfig{})
+	if rep.Offered != 0 || len(rep.Scenarios) != 0 {
+		t.Fatalf("empty trace produced scenarios: %+v", rep)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLOJSONDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := AnalyzeSLO(sloTrace(), SLOConfig{Threshold: 0.5}).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnalyzeSLO(sloTrace(), SLOConfig{Threshold: 0.5}).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("SLO JSON not byte-identical across repeated analyses")
+	}
+	if !strings.Contains(a.String(), `"schema":"fstutter-slo/1"`) {
+		t.Fatalf("missing schema tag:\n%s", a.String())
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStationProbeTransitions drives a station through submit, queueing,
+// completion and failure, and checks the probe sees every occupancy
+// transition with consistent depth/backlog readings.
+func TestStationProbeTransitions(t *testing.T) {
+	s := New()
+	st := NewStation(s, "d0", 100) // 100 units/s
+	type sample struct {
+		now     Time
+		depth   int
+		backlog float64
+	}
+	var got []sample
+	s.SetStationProbe(func(now Time, p *Station) {
+		if p != st {
+			t.Fatalf("probe saw unexpected station %q", p.Name())
+		}
+		got = append(got, sample{now, p.Occupancy(), p.BacklogWork()})
+	})
+
+	st.Submit(&Request{Size: 100}) // service 1 s
+	st.Submit(&Request{Size: 50})  // queued 0.5 s
+	st.Submit(&Request{Size: 50})  // queued 0.5 s
+	s.Run()
+
+	want := []sample{
+		{0, 1, 100},  // first request enters service
+		{0, 2, 150},  // second queued
+		{0, 3, 200},  // third queued
+		{1, 2, 100},  // first completes, second starts
+		{1.5, 1, 50}, // second completes, third starts
+		{2, 0, 0},    // third completes, station idle
+	}
+	if len(got) != len(want) {
+		t.Fatalf("probe fired %d times, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.now != w.now || g.depth != w.depth || math.Abs(g.backlog-w.backlog) > 1e-9 {
+			t.Errorf("transition %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestStationProbeFail checks that failing a station reports the queue
+// drop as a single transition to empty.
+func TestStationProbeFail(t *testing.T) {
+	s := New()
+	st := NewStation(s, "d0", 10)
+	st.Submit(&Request{Size: 100})
+	st.Submit(&Request{Size: 100})
+	fired := 0
+	s.SetStationProbe(func(now Time, p *Station) {
+		fired++
+		if p.Occupancy() != 0 || p.BacklogWork() != 0 {
+			t.Errorf("after Fail: occupancy %d backlog %v, want 0/0",
+				p.Occupancy(), p.BacklogWork())
+		}
+	})
+	st.Fail()
+	if fired != 1 {
+		t.Fatalf("Fail fired the probe %d times, want 1", fired)
+	}
+}
+
+// TestBacklogWorkTracksProgress checks the in-service remainder drains in
+// virtual time while queued work stays at full size.
+func TestBacklogWorkTracksProgress(t *testing.T) {
+	s := New()
+	st := NewStation(s, "d0", 100)
+	st.Submit(&Request{Size: 100})
+	st.Submit(&Request{Size: 40})
+	s.RunUntil(0.5) // half of the first request served
+	if got, want := st.BacklogWork(), 50.0+40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BacklogWork at t=0.5: got %v, want %v", got, want)
+	}
+	st.SetMultiplier(0) // stall: backlog frozen
+	s.RunUntil(2)
+	if got, want := st.BacklogWork(), 90.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BacklogWork while stalled: got %v, want %v", got, want)
+	}
+	st.SetMultiplier(1)
+	s.Run()
+	if got := st.BacklogWork(); got != 0 {
+		t.Fatalf("BacklogWork after drain: got %v, want 0", got)
+	}
+}
+
+// TestStationProbeOffZeroAlloc pins the unprofiled submit/serve/complete
+// cycle at zero allocations: with no probe installed the hook must cost
+// one branch, nothing more.
+func TestStationProbeOffZeroAlloc(t *testing.T) {
+	s := New()
+	st := NewStation(s, "d0", 1e6)
+	req := &Request{Size: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		req.Size = 1
+		st.Submit(req)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("probe-off station cycle allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestStationProbeNoEventOverhead checks installing a probe does not
+// change virtual-time behavior: completion times and event counts match a
+// probe-free run exactly.
+func TestStationProbeNoEventOverhead(t *testing.T) {
+	run := func(probe bool) (Time, uint64) {
+		s := New()
+		if probe {
+			s.SetStationProbe(func(Time, *Station) {})
+		}
+		st := NewStation(s, "d0", 3)
+		for i := 0; i < 10; i++ {
+			st.Submit(&Request{Size: float64(i + 1)})
+		}
+		s.Run()
+		return s.Now(), s.EventsFired()
+	}
+	bareT, bareN := run(false)
+	probeT, probeN := run(true)
+	if bareT != probeT || bareN != probeN {
+		t.Fatalf("probe changed the run: (%v, %d) vs (%v, %d)",
+			bareT, bareN, probeT, probeN)
+	}
+}

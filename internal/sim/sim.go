@@ -84,6 +84,13 @@ func (t Timer) Pending() bool {
 // pop path.
 const heapArity = 4
 
+// StationProbe observes station occupancy transitions: it is called after
+// every change to a station's queue or in-service state (submit, completion,
+// failure), with the virtual time of the transition. Probes are the
+// profiling plane's sampling hook — they must not mutate the station or
+// schedule events.
+type StationProbe func(now Time, st *Station)
+
 // Simulator owns the virtual clock and the pending-event queue.
 // The zero value is not ready for use; call New.
 type Simulator struct {
@@ -97,6 +104,11 @@ type Simulator struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+
+	// stationProbe, when non-nil, is invoked on every station occupancy
+	// transition in this simulation. Each transition costs one nil check
+	// when no probe is installed.
+	stationProbe StationProbe
 }
 
 // New returns a simulator with the clock at time zero.
@@ -106,6 +118,12 @@ func New() *Simulator {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// SetStationProbe installs (or, with nil, removes) the probe called on
+// every station occupancy transition. Exactly one probe can be active per
+// simulator; the profiling plane installs one that samples queue depth and
+// backlog into time series.
+func (s *Simulator) SetStationProbe(p StationProbe) { s.stationProbe = p }
 
 // EventsFired returns the number of events executed so far, a useful
 // determinism check in tests.

@@ -118,6 +118,9 @@ type Station struct {
 	busy      Duration // time spent actively serving at a positive rate
 	completed uint64
 	abandoned uint64
+	// queuedWork is the total Size of the requests waiting behind the one
+	// in service, maintained incrementally so BacklogWork is O(1).
+	queuedWork float64
 
 	// tracer, when non-nil, records queue/service spans and fail/repair
 	// instants. Every hot-path touch point guards with an explicit nil
@@ -201,6 +204,37 @@ func (st *Station) Utilization() float64 {
 // Failed reports whether the station has absolutely failed.
 func (st *Station) Failed() bool { return st.failed }
 
+// BacklogWork returns the total outstanding work at the station in station
+// units: the remaining size of the request in service plus the full size of
+// everything queued behind it. It is O(1) — the queue's contribution is
+// maintained incrementally on submit/dequeue.
+func (st *Station) BacklogWork() float64 {
+	st.progress()
+	w := st.queuedWork
+	if st.cur != nil {
+		w += st.cur.remaining
+	}
+	return w
+}
+
+// Occupancy returns the number of requests at the station, counting the one
+// in service: the queue-depth signal the profiling probe samples.
+func (st *Station) Occupancy() int {
+	n := st.queue.len()
+	if st.cur != nil {
+		n++
+	}
+	return n
+}
+
+// notifyProbe reports an occupancy transition to the simulator's station
+// probe, if one is installed. One predictable branch when profiling is off.
+func (st *Station) notifyProbe() {
+	if p := st.sim.stationProbe; p != nil {
+		p(st.sim.now, st)
+	}
+}
+
 // ServedInCurrent returns the work already drained from the request in
 // service at the current instant, or zero when the server is idle. Callers
 // probing smooth progress counters (peer-relative detectors sampling
@@ -229,12 +263,15 @@ func (st *Station) Submit(r *Request) {
 	r.remaining = r.Size
 	if st.cur == nil {
 		st.start(r)
+		st.notifyProbe()
 		return
 	}
 	if st.tracer != nil {
 		r.span = st.tracer.Begin(st.track, "queue", "station", r.ParentSpan, r.Enqueued)
 	}
 	st.queue.push(r)
+	st.queuedWork += r.Size
+	st.notifyProbe()
 }
 
 // SubmitFunc is a convenience wrapper building a Request from a size and a
@@ -287,6 +324,8 @@ func (st *Station) Fail() {
 	}
 	st.abandoned += uint64(st.queue.len())
 	st.queue.clear()
+	st.queuedWork = 0
+	st.notifyProbe()
 }
 
 // Repair returns a failed station to service with an empty queue, modeling
@@ -385,8 +424,11 @@ func (st *Station) finish() {
 		r.span = 0
 	}
 	if st.queue.len() > 0 {
-		st.start(st.queue.pop())
+		next := st.queue.pop()
+		st.queuedWork -= next.Size
+		st.start(next)
 	}
+	st.notifyProbe()
 	if r.OnDone != nil {
 		r.OnDone(r)
 	}

@@ -175,6 +175,21 @@ func (r *Registry) Len() int {
 	return len(r.entries)
 }
 
+// VisitSeries calls fn for every registered series with the given name,
+// in deterministic sorted-key order. The profiling plane uses this to
+// fold sampled queue-depth and backlog series back into per-component
+// summaries without reparsing the exported JSON.
+func (r *Registry) VisitSeries(name string, fn func(labels []Label, s *Series)) {
+	if r == nil {
+		return
+	}
+	for _, e := range r.sortedEntries() {
+		if e.kind == kindSeries && e.name == name && e.s != nil {
+			fn(e.labels, e.s)
+		}
+	}
+}
+
 // sortedEntries snapshots the entries ordered by key for export.
 func (r *Registry) sortedEntries() []*entry {
 	r.mu.Lock()
@@ -346,6 +361,8 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 			row(e, "offered", "", strconv.FormatUint(m.OfferedCount(), 10))
 			row(e, "completed", "", strconv.FormatUint(m.CompletedCount(), 10))
 			row(e, "availability", "", num(m.Availability()))
+			row(e, "latency_mean", "", num(m.Latency().Mean()))
+			row(e, "latency_p99", "", num(m.Latency().Quantile(0.99)))
 		}
 	}
 	return bw.Flush()
