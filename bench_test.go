@@ -197,6 +197,10 @@ func BenchmarkE31WindVolume(b *testing.B) {
 	runExperiment(b, "E31", "writes_adaptive_stutter", "writes_static_stutter")
 }
 
+func BenchmarkE32FleetPeerDetection(b *testing.B) {
+	runExperiment(b, "E32", "events_2048", "lag_ticks_2048")
+}
+
 func BenchmarkE30DesignDiversity(b *testing.B) {
 	runExperiment(b, "E30", "crash_survived_homogeneous", "crash_survived_diverse")
 }

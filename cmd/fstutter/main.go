@@ -19,6 +19,8 @@
 //	-parallel N       experiment fan-out for `all` (default GOMAXPROCS);
 //	                  every experiment runs in virtual time, so the tables
 //	                  are byte-identical at any fan-out
+//	-shards N         shard count for sharded-kernel experiments (0 = one
+//	                  per core); results are byte-identical at any value
 //	-trace-out PATH   write Chrome trace-event JSON (open in Perfetto or
 //	                  chrome://tracing); a directory gets <ID>.trace.json
 //	                  per experiment, a .json path is used verbatim when
@@ -55,6 +57,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for `all` (1 = serial; tables are identical either way)")
+	shards := flag.Int("shards", 0,
+		"shard count for experiments on the sharded kernel (0 = one per core; results are identical at any value)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON to this directory (or .json file for a single experiment)")
 	metricsOut := flag.String("metrics-out", "", "write metrics JSON and CSV dumps to this directory")
 	audit := flag.Bool("audit", false, "print the verdict audit timeline per experiment")
@@ -85,6 +89,7 @@ func main() {
 		Trace:   *traceOut != "",
 		Audit:   *audit,
 		Metrics: *metricsOut != "",
+		Shards:  *shards,
 	}
 	sink := artifactSink{traceOut: *traceOut, metricsOut: *metricsOut, audit: *audit}
 
@@ -317,6 +322,8 @@ flags (before or after the subcommand):
   -quick            shrink workloads for a fast pass
   -format FMT       text (default) or csv
   -parallel N       worker goroutines for 'all' (default GOMAXPROCS)
+  -shards N         shard count for sharded-kernel experiments (default:
+                    one per core; tables are identical at any value)
   -trace-out PATH   Chrome trace-event JSON: directory for <ID>.trace.json,
                     or a .json file when running a single experiment
   -metrics-out DIR  metrics registry dumps: <ID>.metrics.json + .csv

@@ -78,16 +78,27 @@ func cmdPerfDiff(oldPath, newPath string, threshold float64, gate bool) {
 }
 
 // benchTargets are the representative workloads `fstutter bench` times:
-// a RAID scenario, the disk plane, the DHT, and the scheduler engine —
-// one per major subsystem, all in quick mode so a full sample set runs
-// in seconds.
-var benchTargets = []string{"E01", "E05", "E14", "E23"}
+// a RAID scenario, the disk plane, the DHT, the scheduler engine, and
+// the sharded fleet — one per major subsystem, all in quick mode so a
+// full sample set runs in seconds.
+var benchTargets = []string{"E01", "E05", "E14", "E23", "E32"}
+
+// megaFleetDisks is the full-scale fleet the dedicated bench entries
+// run: the datacenter configuration the sharded kernel exists for.
+const megaFleetDisks = 1 << 20
 
 // cmdBench measures each target experiment samples times with the
 // testing package's benchmark driver and writes a canonical benchmark
 // artifact to outPath (stdout when empty). Unlike every other artifact,
 // ns/op is wall-clock: this is the one command whose output measures the
 // implementation rather than the simulation.
+//
+// On top of the quick-mode experiment targets, the mega-fleet scenario
+// runs at full scale (~1M disks) twice — one shard, then one shard per
+// core — recording wall-clock ns per run, the sharded configuration's
+// events/sec, and the serial-vs-sharded speedup. These runs cost tens of
+// seconds each, so they are capped at two samples regardless of
+// -samples.
 func cmdBench(cfg experiments.Config, samples int, outPath string) {
 	cfg.Quick = true
 	art := &profile.BenchArtifact{Schema: profile.BenchSchema, Seed: cfg.Seed, Quick: true}
@@ -109,6 +120,44 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 			b.Name, b.Median(), samples)
 		art.Benchmarks = append(art.Benchmarks, b)
 	}
+
+	fleetSamples := samples
+	if fleetSamples > 2 {
+		fleetSamples = 2
+	}
+	medians := map[string]float64{}
+	for _, c := range []struct {
+		name   string
+		shards int
+	}{
+		{"fleet/1M/serial", 1},
+		{"fleet/1M/sharded", cfg.ShardCount()},
+	} {
+		b := profile.Bench{Name: c.name, Unit: "ns/op"}
+		rates := profile.Bench{Name: c.name + "/events", Unit: "events/s"}
+		for i := 0; i < fleetSamples; i++ {
+			var events uint64
+			res := testing.Benchmark(func(tb *testing.B) {
+				for n := 0; n < tb.N; n++ {
+					r := experiments.RunFleetScenario(experiments.FleetParams{
+						Disks: megaFleetDisks, Shards: c.shards, Seed: cfg.Seed,
+					})
+					events = r.Events
+				}
+			})
+			ns := float64(res.NsPerOp())
+			b.Samples = append(b.Samples, ns)
+			rates.Samples = append(rates.Samples, float64(events)/(ns/1e9))
+		}
+		fmt.Fprintf(os.Stderr, "bench %-16s (%d disks, %d shards) median %.4g ns/run, %.3g events/sec\n",
+			b.Name, megaFleetDisks, c.shards, b.Median(), rates.Median())
+		medians[c.name] = b.Median()
+		art.Benchmarks = append(art.Benchmarks, b, rates)
+	}
+	if s, p := medians["fleet/1M/serial"], medians["fleet/1M/sharded"]; s > 0 && p > 0 {
+		fmt.Fprintf(os.Stderr, "bench fleet/1M speedup: sharded is %.2fx serial wall-clock\n", s/p)
+	}
+
 	if outPath == "" {
 		if err := art.WriteJSON(os.Stdout); err != nil {
 			fail(err)

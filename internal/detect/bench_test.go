@@ -80,9 +80,10 @@ func benchPeerFleetSweep(b *testing.B, peers int) {
 	}
 }
 
-func BenchmarkPeerSetFleetSweep8(b *testing.B)   { benchPeerFleetSweep(b, 8) }
-func BenchmarkPeerSetFleetSweep64(b *testing.B)  { benchPeerFleetSweep(b, 64) }
-func BenchmarkPeerSetFleetSweep256(b *testing.B) { benchPeerFleetSweep(b, 256) }
+func BenchmarkPeerSetFleetSweep8(b *testing.B)    { benchPeerFleetSweep(b, 8) }
+func BenchmarkPeerSetFleetSweep64(b *testing.B)   { benchPeerFleetSweep(b, 64) }
+func BenchmarkPeerSetFleetSweep256(b *testing.B)  { benchPeerFleetSweep(b, 256) }
+func BenchmarkPeerSetFleetSweep4096(b *testing.B) { benchPeerFleetSweep(b, 4096) }
 
 func BenchmarkTrendDetectorVerdictW64(b *testing.B) {
 	d := NewTrendDetector(TrendConfig{WindowSamples: 64, DeclineFrac: 0.1})

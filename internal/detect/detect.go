@@ -253,15 +253,50 @@ type PeerConfig struct {
 // components fire — the property ablation A3 measures.
 //
 // Each member's window median is cached on Observe and mirrored into one
-// ascending array of fleet medians, so a verdict costs two bounded copies
-// instead of re-sorting every peer's window: a full fleet sweep drops
-// from O(P^2 * W log W) to O(P^2) float moves with zero allocation.
+// ascending array of fleet medians; a verdict reads the exclude-one fleet
+// median straight off that array by index arithmetic
+// (stats.QuantileSortedExcluding), so no per-verdict copy exists at any
+// fleet size.
+//
+// The sorted mirror is maintained in one of two modes, switched on fleet
+// size. Small fleets (≤ peerIncrementalCutoff members) update it
+// incrementally on every Observe — O(P) memmove, cheap at that scale, and
+// verdicts stay exact under any interleaving of Observe and Verdict calls.
+// Above the cutoff the per-Observe memmove would dominate (a million-disk
+// sweep would move terabytes), so Observe only updates the member's cached
+// median and marks the mirror dirty; the next Verdict rebuilds it with one
+// O(P log P) sort into a reusable buffer. Large fleets should therefore
+// sweep in phases — observe every member, then read every verdict — which
+// is exactly what the fleet experiments' barrier hook does; a full sweep
+// at P=1M is one sort plus P binary searches, with zero allocation.
 type PeerSet struct {
 	cfg     PeerConfig
 	members map[string]*peerMember
-	meds    []float64 // every member's cached window median, ascending
-	scratch []float64 // reusable buffer for exclude-one fleet medians
-	ids     []string  // sorted member ids; nil after a membership change
+	list    []*peerMember // members in insertion order, the rebuild source
+	meds    []float64     // every member's cached window median, ascending
+	// medsDirty marks the mirror stale (large-fleet mode); the next verdict
+	// rebuilds it.
+	medsDirty bool
+	sorter    medsSorter // boxed once via pointer receiver: 0-alloc rebuilds
+	ids       []string   // sorted member ids; nil after a membership change
+}
+
+// peerIncrementalCutoff is the fleet size above which PeerSet switches
+// from incremental sorted-mirror maintenance to deferred rebuild. Around
+// this point one O(P log P) sort per sweep undercuts P O(P) memmoves.
+const peerIncrementalCutoff = 512
+
+// medsSorter sorts the meds mirror in place under the sort.Float64s order
+// (NaNs first), matching stats.SortedInsert so the two maintenance modes
+// produce identical arrays. Pointer receiver: handing &p.sorter to
+// sort.Sort boxes a pointer, which never allocates.
+type medsSorter struct{ s []float64 }
+
+func (m *medsSorter) Len() int      { return len(m.s) }
+func (m *medsSorter) Swap(i, j int) { m.s[i], m.s[j] = m.s[j], m.s[i] }
+func (m *medsSorter) Less(i, j int) bool {
+	a, b := m.s[i], m.s[j]
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
 }
 
 type peerMember struct {
@@ -287,6 +322,7 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 	if fresh {
 		m = &peerMember{window: stats.NewWindow(p.cfg.WindowSamples)}
 		p.members[id] = m
+		p.list = append(p.list, m)
 		p.ids = nil // membership changed; cached sorted ids are stale
 	}
 	if !m.sawAnything {
@@ -298,11 +334,32 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 	}
 	m.window.Observe(rate)
 	med := m.window.Median()
-	if !fresh {
-		p.meds = stats.SortedRemove(p.meds, m.med)
+	if len(p.members) > peerIncrementalCutoff {
+		// Large fleet: defer mirror maintenance to the next verdict.
+		p.medsDirty = true
+	} else {
+		if !fresh {
+			p.meds = stats.SortedRemove(p.meds, m.med)
+		}
+		p.meds = stats.SortedInsert(p.meds, med)
 	}
-	p.meds = stats.SortedInsert(p.meds, med)
 	m.med = med
+}
+
+// rebuildMeds regenerates the ascending medians mirror from every member's
+// cached median: one copy in insertion order, one in-place sort, no
+// allocation once the buffer has grown to fleet size.
+func (p *PeerSet) rebuildMeds() {
+	if cap(p.meds) < len(p.list) {
+		p.meds = make([]float64, len(p.list), 2*len(p.list))
+	}
+	p.meds = p.meds[:len(p.list)]
+	for i, m := range p.list {
+		p.meds[i] = m.med
+	}
+	p.sorter.s = p.meds
+	sort.Sort(&p.sorter)
+	p.medsDirty = false
 }
 
 // Members returns the component ids in sorted order. The slice is cached
@@ -319,22 +376,16 @@ func (p *PeerSet) Members() []string {
 }
 
 // peerMedian computes the median of all members' cached recent medians,
-// excluding the given member: two copies into a reusable scratch buffer
-// skip the member's own entry, then the fleet median reads straight off
-// the still-sorted scratch.
+// excluding the given member. The member's entry is located by binary
+// search (duplicates are interchangeable — excluding any one of them
+// leaves the same multiset) and skipped by index arithmetic: no copy at
+// any fleet size.
 func (p *PeerSet) peerMedian(m *peerMember) float64 {
-	n := len(p.meds)
-	if n <= 1 {
+	if len(p.meds) <= 1 {
 		return math.NaN()
 	}
-	if cap(p.scratch) < n-1 {
-		p.scratch = make([]float64, 0, 2*n)
-	}
 	j := stats.SearchSorted(p.meds, m.med)
-	s := p.scratch[:n-1]
-	copy(s, p.meds[:j])
-	copy(s[j:], p.meds[j+1:])
-	return stats.QuantileSorted(s, 0.5)
+	return stats.QuantileSortedExcluding(p.meds, j, 0.5)
 }
 
 // Verdict classifies the named component as of the given time.
@@ -348,6 +399,9 @@ func (p *PeerSet) Verdict(id string, now float64) spec.Verdict {
 	}
 	if len(p.members) < p.cfg.MinPeers || m.window.Len() == 0 {
 		return spec.Nominal
+	}
+	if p.medsDirty {
+		p.rebuildMeds()
 	}
 	ref := p.peerMedian(m)
 	if math.IsNaN(ref) {

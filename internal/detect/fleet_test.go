@@ -1,0 +1,153 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"failstutter/internal/spec"
+	"failstutter/internal/stats"
+)
+
+// TestPeerSetLargeFleetMatchesBruteForce drives a fleet past the
+// incremental cutoff into deferred-rebuild mode and cross-checks every
+// verdict against an independent brute-force reference: window medians
+// recomputed from the raw samples, exclude-one fleet medians from a fresh
+// sort. The two sorted-mirror maintenance modes must be observationally
+// identical.
+func TestPeerSetLargeFleetMatchesBruteForce(t *testing.T) {
+	const (
+		peers  = peerIncrementalCutoff + 40
+		window = 5
+		rounds = 9
+	)
+	cfg := PeerConfig{WindowSamples: window, Threshold: 0.7, MinPeers: 4}
+	p := NewPeerSet(cfg)
+	rng := rand.New(rand.NewSource(11))
+	ids := make([]string, peers)
+	samples := make([][]float64, peers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%04d", i)
+	}
+	for k := 0; k < rounds; k++ {
+		now := float64(k)
+		for i, id := range ids {
+			rate := 90 + 20*rng.Float64()
+			if i%97 == 0 {
+				rate *= 0.3 // a few persistent stragglers to flag
+			}
+			samples[i] = append(samples[i], rate)
+			p.Observe(id, now, rate)
+		}
+	}
+	now := float64(rounds)
+
+	// Brute-force reference, recomputed from scratch.
+	meds := make([]float64, peers)
+	for i := range meds {
+		s := samples[i]
+		if len(s) > window {
+			s = s[len(s)-window:]
+		}
+		meds[i] = stats.Median(s)
+	}
+	sorted := append([]float64(nil), meds...)
+	sort.Float64s(sorted)
+	for i, id := range ids {
+		j := stats.SearchSorted(sorted, meds[i])
+		rest := append(append([]float64(nil), sorted[:j]...), sorted[j+1:]...)
+		ref := stats.Median(rest)
+		want := spec.Nominal
+		if meds[i] < cfg.Threshold*ref {
+			want = spec.PerfFaulty
+		}
+		if got := p.Verdict(id, now); got != want {
+			t.Fatalf("member %s: verdict %v, brute force says %v (med %v, ref %v)",
+				id, got, want, meds[i], ref)
+		}
+	}
+}
+
+// TestPeerSetInterleavedAcrossCutoff interleaves Observe and Verdict while
+// the fleet grows through the cutoff: every verdict issued mid-growth must
+// match a brute-force reference over the members seen so far, proving the
+// mode switch has no observable seam.
+func TestPeerSetInterleavedAcrossCutoff(t *testing.T) {
+	cfg := PeerConfig{WindowSamples: 3, Threshold: 0.7, MinPeers: 4}
+	p := NewPeerSet(cfg)
+	rng := rand.New(rand.NewSource(12))
+	var meds []float64
+	for i := 0; i < peerIncrementalCutoff+30; i++ {
+		rate := 90 + 20*rng.Float64()
+		if i%50 == 0 {
+			rate *= 0.2
+		}
+		id := fmt.Sprintf("d%04d", i)
+		p.Observe(id, 0, rate)
+		meds = append(meds, rate) // window of 1 sample: median is the rate
+		if i < 4 || i%7 != 0 {
+			continue
+		}
+		probe := rng.Intn(i + 1)
+		sorted := append([]float64(nil), meds...)
+		sort.Float64s(sorted)
+		j := stats.SearchSorted(sorted, meds[probe])
+		rest := append(append([]float64(nil), sorted[:j]...), sorted[j+1:]...)
+		want := spec.Nominal
+		if meds[probe] < cfg.Threshold*stats.Median(rest) {
+			want = spec.PerfFaulty
+		}
+		if got := p.Verdict(fmt.Sprintf("d%04d", probe), 0); got != want {
+			t.Fatalf("at fleet size %d, member %d: verdict %v, want %v", i+1, probe, got, want)
+		}
+	}
+}
+
+// TestPeerSetMillionMemberSweepNoAllocs is the tentpole's complexity
+// claim, pinned: one full monitoring sweep — observe every member, then
+// classify every member — over a million-disk fleet performs zero heap
+// allocations. The first sweep (AllocsPerRun's warm-up call) grows the
+// reusable medians buffer; steady state must stay flat.
+func TestPeerSetMillionMemberSweepNoAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-member fleet build is slow; skipped in -short")
+	}
+	const peers = 1 << 20
+	cfg := PeerConfig{WindowSamples: 4, Threshold: 0.7, MinPeers: 4}
+	p := NewPeerSet(cfg)
+	ids := make([]string, peers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("disk%07d", i)
+	}
+	for k := 0; k < 4; k++ {
+		now := float64(k)
+		for i, id := range ids {
+			p.Observe(id, now, 100+float64((i+k)%13))
+		}
+	}
+	faulty := 0
+	round := 4
+	sweep := func() {
+		now := float64(round)
+		round++
+		for i, id := range ids {
+			rate := 100 + float64((i+round)%13)
+			if i%1000 == 0 {
+				rate = 5 // stragglers the sweep must still flag
+			}
+			p.Observe(id, now, rate)
+		}
+		for _, id := range ids {
+			if p.Verdict(id, now) != spec.Nominal {
+				faulty++
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(1, sweep); n != 0 {
+		t.Fatalf("million-member sweep allocates %v per run, want 0", n)
+	}
+	if faulty == 0 {
+		t.Fatal("sweep flagged nothing; straggler injection broken")
+	}
+}

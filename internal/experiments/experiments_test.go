@@ -29,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09",
 		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
 		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27",
-		"E28", "E29", "E30", "E31", "A1", "A2", "A3", "A4",
+		"E28", "E29", "E30", "E31", "E32", "A1", "A2", "A3", "A4",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("registered %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -505,6 +505,31 @@ func TestE31WindLoop(t *testing.T) {
 	aC := tbl.MustMetric("writes_adaptive_crash")
 	if aC < 1.5*sC {
 		t.Fatalf("adaptive %v not clearly above static %v after crash", aC, sC)
+	}
+}
+
+func TestE32FleetDetection(t *testing.T) {
+	tbl := runByID(t, "E32")
+	// The 2048-disk quick fleet injects faults of both kinds; the sweep
+	// must find all of them and nothing else.
+	if tbl.MustMetric("injected_stutter_2048") == 0 || tbl.MustMetric("injected_fail_2048") == 0 {
+		t.Fatal("quick fleet injected no faults — fleet too small for the fractions")
+	}
+	for _, kind := range []string{"stutter", "fail"} {
+		got := tbl.MustMetric("detected_" + kind + "_2048")
+		want := tbl.MustMetric("injected_" + kind + "_2048")
+		if got != want {
+			t.Fatalf("detected %s %v of %v injected", kind, got, want)
+		}
+	}
+	if fa := tbl.MustMetric("false_alarms_2048"); fa != 0 {
+		t.Fatalf("%v healthy disks flagged at the final sweep", fa)
+	}
+	if lag := tbl.MustMetric("lag_ticks_2048"); lag <= 0 || lag > 6 {
+		t.Fatalf("detection lag %v ticks out of range", lag)
+	}
+	if tbl.MustMetric("events_2048") < 10*2048 {
+		t.Fatalf("suspiciously few events: %v", tbl.MustMetric("events_2048"))
 	}
 }
 

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// telemetryArtifacts renders every telemetry artifact the CLI would write
+// for one table — Chrome trace JSON, metrics JSON and CSV, audit JSON —
+// concatenated into one byte string for equality checks.
+func telemetryArtifacts(t *testing.T, tbl *Table) string {
+	t.Helper()
+	tel := tbl.Telemetry
+	if tel == nil {
+		return "" // not every experiment attaches telemetry
+	}
+	var buf bytes.Buffer
+	if tel.Tracer != nil {
+		if err := tel.Tracer.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("trace export: %v", err)
+		}
+	}
+	if tel.Metrics != nil {
+		if err := tel.Metrics.WriteJSON(&buf); err != nil {
+			t.Fatalf("metrics JSON export: %v", err)
+		}
+		if err := tel.Metrics.WriteCSV(&buf); err != nil {
+			t.Fatalf("metrics CSV export: %v", err)
+		}
+	}
+	if tel.Audit != nil {
+		if err := tel.Audit.WriteJSON(&buf); err != nil {
+			t.Fatalf("audit export: %v", err)
+		}
+	}
+	return buf.String()
+}
+
+// TestFleetShardCountInvariant asserts the sharded kernel's core
+// contract on the fleet experiment: E32's table AND its telemetry
+// artifacts are byte-identical at shard counts 1, 2, and 8, for several
+// seeds. The shard count may only trade wall-clock for cores.
+func TestFleetShardCountInvariant(t *testing.T) {
+	e, err := Get("E32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 42, 1337} {
+		run := func(shards int) (string, string, string) {
+			cfg := Config{Seed: seed, Quick: true, Trace: true, Audit: true, Metrics: true, Shards: shards}
+			tbl := e.Run(cfg)
+			art := telemetryArtifacts(t, tbl)
+			if art == "" {
+				t.Fatalf("seed %d shards %d: E32 produced no telemetry artifacts", seed, shards)
+			}
+			return tbl.Format(), tbl.CSV(), art
+		}
+		refFmt, refCSV, refArt := run(1)
+		for _, shards := range []int{2, 8} {
+			gotFmt, gotCSV, gotArt := run(shards)
+			if gotFmt != refFmt {
+				t.Errorf("seed %d: E32 table differs between -shards=1 and -shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+					seed, shards, refFmt, shards, gotFmt)
+			}
+			if gotCSV != refCSV {
+				t.Errorf("seed %d: E32 CSV differs between -shards=1 and -shards=%d", seed, shards)
+			}
+			if gotArt != refArt {
+				t.Errorf("seed %d: E32 telemetry artifacts differ between -shards=1 and -shards=%d (%d vs %d bytes)",
+					seed, shards, len(refArt), len(gotArt))
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+}
+
+// TestFleetScenarioShardCountInvariant checks RunFleetScenario's result
+// struct directly — every field, including the per-sweep flagged series —
+// across a shard-count spread that includes counts that do not divide the
+// fleet evenly.
+func TestFleetScenarioShardCountInvariant(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 1337} {
+		ref := RunFleetScenario(FleetParams{Disks: 2048, Shards: 1, Seed: seed})
+		if ref.InjectedStutter+ref.InjectedFail == 0 {
+			t.Fatalf("seed %d: no faults injected — fleet too small to exercise detection", seed)
+		}
+		for _, shards := range []int{2, 3, 8} {
+			got := RunFleetScenario(FleetParams{Disks: 2048, Shards: shards, Seed: seed})
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", ref) {
+				t.Errorf("seed %d: fleet result differs at shards=%d:\n shards=1: %+v\n shards=%d: %+v",
+					seed, shards, ref, shards, got)
+			}
+		}
+	}
+}
+
+// TestRunAllShardCountInvariant extends the determinism suite across the
+// shard axis: the full registry's tables and metrics artifacts must be
+// byte-identical for -shards=1 and -shards=8 at the reference seed.
+// Experiments off the sharded kernel must ignore the setting entirely;
+// E32 must honor it without observable effect.
+func TestRunAllShardCountInvariant(t *testing.T) {
+	run := func(shards int) []*Table {
+		return RunAll(Config{Seed: 42, Quick: true, Metrics: true, Shards: shards}, 4)
+	}
+	ref := run(1)
+	got := run(8)
+	if len(ref) != len(got) {
+		t.Fatalf("table count differs: %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if gotF, refF := got[i].Format(), ref[i].Format(); gotF != refF {
+			t.Errorf("experiment %s table differs between -shards=1 and -shards=8:\n--- shards=1 ---\n%s\n--- shards=8 ---\n%s",
+				ref[i].ID, refF, gotF)
+		}
+		if gotA, refA := telemetryArtifacts(t, got[i]), telemetryArtifacts(t, ref[i]); gotA != refA {
+			t.Errorf("experiment %s metrics artifacts differ between -shards=1 and -shards=8", ref[i].ID)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -27,6 +28,20 @@ type Config struct {
 	// profiles. Critical-path, folded-stack, and SLO artifacts derive
 	// from the resulting telemetry.
 	Profile bool
+	// Shards is the shard count for experiments that run on the sharded
+	// parallel kernel (currently the E32 fleet experiment); 0 means one
+	// shard per core. Tables and telemetry are byte-identical at any
+	// value — the setting only trades wall-clock for cores.
+	Shards int
+}
+
+// ShardCount resolves the Shards setting: the configured count, or
+// GOMAXPROCS when unset.
+func (cfg Config) ShardCount() int {
+	if cfg.Shards > 0 {
+		return cfg.Shards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Observability reports whether any telemetry flag is set.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"failstutter/internal/detect"
 	"failstutter/internal/spec"
@@ -34,7 +35,10 @@ const (
 	DiffImproved   = "improved"
 	DiffDeclining  = "declining"
 	DiffMissing    = "missing"
-	DiffNew        = "new"
+	// DiffAdded marks a benchmark present only in the new artifact: an
+	// informational line, never a regression — a fresh benchmark has no
+	// baseline to regress against until the artifact is regenerated.
+	DiffAdded = "added"
 )
 
 // BenchDelta is one benchmark's verdict.
@@ -56,6 +60,7 @@ type PerfDiffReport struct {
 	Regressions int
 	Improved    int
 	Declining   int
+	Added       int
 }
 
 // Failed reports whether any benchmark regressed (including benchmarks
@@ -100,8 +105,9 @@ func PerfDiff(oldA, newA *BenchArtifact, cfg PerfDiffConfig) *PerfDiffReport {
 		nb, hasNew := newBy[name]
 		switch {
 		case !hasOld:
+			rep.Added++
 			rep.Deltas = append(rep.Deltas, BenchDelta{
-				Name: name, Status: DiffNew, NewMedian: nb.Median(),
+				Name: name, Status: DiffAdded, NewMedian: nb.Median(),
 			})
 			continue
 		case !hasNew || len(nb.Samples) == 0:
@@ -135,9 +141,27 @@ func rateOf(ns float64) float64 {
 	return 1e9 / ns
 }
 
+// sampleRate converts one sample to a throughput the detectors can
+// compare: units ending in "/s" (events/s, ops/s) are already rates —
+// bigger is better — and pass through; anything else is treated as ns/op
+// and inverted.
+func sampleRate(unit string, s float64) float64 {
+	if strings.HasSuffix(unit, "/s") {
+		if s <= 0 {
+			return 0
+		}
+		return s
+	}
+	return rateOf(s)
+}
+
 func diffOne(name string, ob, nb Bench, cfg PerfDiffConfig) BenchDelta {
 	d := BenchDelta{Name: name, Status: DiffOK, OldMedian: ob.Median(), NewMedian: nb.Median()}
-	if d.NewMedian > 0 {
+	if strings.HasSuffix(nb.Unit, "/s") {
+		if d.OldMedian > 0 {
+			d.Ratio = d.NewMedian / d.OldMedian
+		}
+	} else if d.NewMedian > 0 {
 		d.Ratio = d.OldMedian / d.NewMedian
 	}
 
@@ -153,11 +177,11 @@ func diffOne(name string, ob, nb Bench, cfg PerfDiffConfig) BenchDelta {
 	}
 	t := 0.0
 	for _, s := range ob.Samples {
-		det.Observe(t, rateOf(s))
+		det.Observe(t, sampleRate(ob.Unit, s))
 		t++
 	}
 	for _, s := range nb.Samples {
-		det.Observe(t, rateOf(s))
+		det.Observe(t, sampleRate(nb.Unit, s))
 		t++
 	}
 	v := det.Verdict(t - 1)
@@ -184,11 +208,11 @@ func diffOne(name string, ob, nb Bench, cfg PerfDiffConfig) BenchDelta {
 		})
 		t = 0
 		for _, s := range ob.Samples {
-			tr.Observe(t, rateOf(s))
+			tr.Observe(t, sampleRate(ob.Unit, s))
 			t++
 		}
 		for _, s := range nb.Samples {
-			tr.Observe(t, rateOf(s))
+			tr.Observe(t, sampleRate(nb.Unit, s))
 			t++
 		}
 		if tr.Verdict(t-1) != spec.Nominal {
@@ -204,7 +228,7 @@ func (r *PerfDiffReport) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "perfdiff (threshold %.2f: flag when new throughput < %.0f%% of old)\n",
 		r.Threshold, 100*r.Threshold)
-	fmt.Fprintf(bw, "  %-44s %12s %12s %7s  %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "status")
+	fmt.Fprintf(bw, "  %-44s %12s %12s %7s  %s\n", "benchmark", "old", "new", "ratio", "status")
 	for _, d := range r.Deltas {
 		ratio := "-"
 		if d.Ratio > 0 {
@@ -213,7 +237,7 @@ func (r *PerfDiffReport) WriteText(w io.Writer) error {
 		fmt.Fprintf(bw, "  %-44s %12.4g %12.4g %7s  %s\n",
 			d.Name, d.OldMedian, d.NewMedian, ratio, d.Status)
 	}
-	fmt.Fprintf(bw, "summary: %d benchmarks, %d regressed, %d improved, %d declining\n",
-		len(r.Deltas), r.Regressions, r.Improved, r.Declining)
+	fmt.Fprintf(bw, "summary: %d benchmarks, %d regressed, %d improved, %d declining, %d added\n",
+		len(r.Deltas), r.Regressions, r.Improved, r.Declining, r.Added)
 	return bw.Flush()
 }

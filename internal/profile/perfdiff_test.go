@@ -72,7 +72,7 @@ func TestPerfDiffMissingAndNew(t *testing.T) {
 	if got["BenchmarkGone"] != DiffMissing {
 		t.Fatalf("vanished benchmark status %q, want missing", got["BenchmarkGone"])
 	}
-	if got["BenchmarkAdded"] != DiffNew || got["BenchmarkKept"] != DiffOK {
+	if got["BenchmarkAdded"] != DiffAdded || got["BenchmarkKept"] != DiffOK {
 		t.Fatalf("statuses %v", got)
 	}
 	if !rep.Failed() {
@@ -147,5 +147,64 @@ func TestBenchArtifactRoundTripCanonical(t *testing.T) {
 	}
 	if _, err := ReadBench(strings.NewReader(`{"schema":"bogus/9"}`)); err == nil {
 		t.Fatal("bogus schema accepted")
+	}
+}
+
+// TestPerfDiffAddedInformational pins the defined behaviour for
+// benchmarks present only in the new artifact: an informational "added"
+// line and a counter, never a gate failure — the state every fresh
+// benchmark passes through before the baseline is regenerated.
+func TestPerfDiffAddedInformational(t *testing.T) {
+	old := art(Bench{Name: "BenchmarkKept", Unit: "ns/op", Samples: samples(100, 5)})
+	now := art(
+		Bench{Name: "BenchmarkKept", Unit: "ns/op", Samples: samples(100, 5)},
+		Bench{Name: "BenchmarkFresh", Unit: "ns/op", Samples: samples(777, 5)},
+	)
+	rep := PerfDiff(old, now, PerfDiffConfig{})
+	if rep.Failed() {
+		t.Fatalf("an added benchmark must not fail the gate: %+v", rep.Deltas)
+	}
+	if rep.Added != 1 {
+		t.Fatalf("Added = %d, want 1", rep.Added)
+	}
+	var fresh *BenchDelta
+	for i := range rep.Deltas {
+		if rep.Deltas[i].Name == "BenchmarkFresh" {
+			fresh = &rep.Deltas[i]
+		}
+	}
+	if fresh == nil || fresh.Status != DiffAdded {
+		t.Fatalf("added benchmark delta %+v, want status %q", fresh, DiffAdded)
+	}
+	if fresh.NewMedian != 777 {
+		t.Fatalf("added benchmark median %v, want its new median 777", fresh.NewMedian)
+	}
+	var txt strings.Builder
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "added") {
+		t.Fatalf("report text missing the added line:\n%s", txt.String())
+	}
+}
+
+// TestPerfDiffRateUnits covers benchmarks whose unit is already a rate
+// (events/s): samples pass straight to the detectors and the ratio is
+// new-over-old, so halved throughput regresses and doubled improves —
+// the mirror of the ns/op direction.
+func TestPerfDiffRateUnits(t *testing.T) {
+	old := art(Bench{Name: "fleet/events", Unit: "events/s", Samples: samples(50e6, 5)})
+	slow := art(Bench{Name: "fleet/events", Unit: "events/s", Samples: samples(20e6, 5)})
+	rep := PerfDiff(old, slow, PerfDiffConfig{})
+	if !rep.Failed() || rep.Deltas[0].Status != DiffRegression {
+		t.Fatalf("halved events/s not flagged: %+v", rep.Deltas)
+	}
+	if r := rep.Deltas[0].Ratio; r < 0.35 || r > 0.45 {
+		t.Fatalf("rate-unit ratio %v, want ~0.4 (new/old)", r)
+	}
+	fast := art(Bench{Name: "fleet/events", Unit: "events/s", Samples: samples(110e6, 5)})
+	rep = PerfDiff(old, fast, PerfDiffConfig{})
+	if rep.Failed() || rep.Improved != 1 {
+		t.Fatalf("doubled events/s not improved: %+v", rep.Deltas)
 	}
 }

@@ -151,3 +151,37 @@ func BenchmarkRNGNorm(b *testing.B) {
 	}
 	_ = sink
 }
+
+// benchSharded drives a fixed fleet of event chains through a sharded
+// kernel; the workload is independent per component, so every window runs
+// all shards in parallel. Reported per executed event.
+func benchSharded(b *testing.B, shards int) {
+	const components = 256
+	ss := NewSharded(shards, 1.0)
+	root := NewRNG(9)
+	per := b.N/components + 1
+	for c := 0; c < components; c++ {
+		name := benchName(c)
+		rng := root.Fork(name)
+		sh := ss.Shard(ss.ShardFor(name))
+		var step func()
+		n := 0
+		step = func() {
+			if n++; n < per {
+				sh.After(0.01+rng.Float64(), step)
+			}
+		}
+		sh.At(rng.Float64(), step)
+	}
+	b.ResetTimer()
+	ss.Run()
+	b.StopTimer()
+	if fired := ss.EventsFired(); fired < uint64(b.N) {
+		b.Fatalf("fired %d events, want at least %d", fired, b.N)
+	}
+}
+
+func benchName(c int) string { return "comp" + string(rune('a'+c/26%26)) + string(rune('a'+c%26)) }
+
+func BenchmarkShardedEventChain1(b *testing.B) { benchSharded(b, 1) }
+func BenchmarkShardedEventChain4(b *testing.B) { benchSharded(b, 4) }

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ShardedSimulator runs one simulation on all cores: components are
+// partitioned into shard groups, each shard owning a full event kernel
+// (its own arena, 4-ary heap and sequence counter), and the shards advance
+// together through conservative safe windows.
+//
+// The synchronization protocol is the bounded-lag variant of conservative
+// (null-message) parallel discrete-event simulation. Let T be the earliest
+// pending event time across all shards and L the lookahead — a lower bound
+// on the delay of any cross-shard interaction (for simulated hardware, the
+// minimum link latency or service time). Every event in [T, T+L) is safe
+// to execute without coordination: an event at time u >= T can only
+// influence another shard at or after u+L >= T+L, beyond the window. Each
+// window therefore runs all shards in parallel up to the horizon H = T+L,
+// then a barrier delivers the buffered cross-shard events and the next
+// window begins.
+//
+// Determinism is by construction, at any shard count:
+//
+//   - each shard's events execute in (time, seq) order exactly as a
+//     lone Simulator would execute them;
+//   - cross-shard events are buffered per source shard and delivered at
+//     the barrier in (time, source shard, source seq) order, so the
+//     destination's tie-break sequence numbers never depend on goroutine
+//     scheduling;
+//   - the window horizon sequence depends only on the global event set
+//     (the minimum next-event time is the same however components are
+//     sharded), so barrier-driven logic fires identically at any shard
+//     count.
+//
+// For results to be byte-identical across *different* shard counts, the
+// usual kernel discipline applies, plus one rule: every component draws
+// from its own RNG stream forked by component identity (the repository
+// idiom), and same-timestamp events on *different* components must
+// commute (their relative order is the one ordering that legitimately
+// varies with the partition). The fleet experiments and the determinism
+// suite enforce exactly this.
+type ShardedSimulator struct {
+	shards    []*Simulator
+	lookahead Duration
+
+	// outbox[src] buffers cross-shard events emitted by shard src during
+	// the current window. Each shard appends only to its own buffer, so
+	// the window needs no locks; the barrier drains all of them.
+	outbox [][]crossEvent
+	// merged is the barrier's reusable sort buffer.
+	merged []crossEvent
+	// sendSeq[src] numbers shard src's sends, the final tie-break of the
+	// delivery order.
+	sendSeq []uint64
+
+	// barrier, when non-nil, runs single-threaded after every window with
+	// the window horizon. Fleet-wide logic (peer detectors sweeping
+	// samples gathered shard-locally) hangs off this hook; it may inspect
+	// any shard and schedule new events at or after the horizon.
+	barrier func(horizon Time)
+
+	// inWindow marks the parallel section, in which cross-shard sends
+	// must respect the lookahead bound and barrier-only calls must not
+	// run.
+	inWindow bool
+}
+
+// crossEvent is a buffered cross-shard message: fn will be scheduled on
+// shard dst at time at. Delivery order is (at, src, seq).
+type crossEvent struct {
+	at  Time
+	seq uint64
+	src int32
+	dst int32
+	fn  func()
+}
+
+// NewSharded builds a simulator partitioned into the given number of
+// shards with the given lookahead bound. A shard count of 1 degenerates to
+// a windowed — but otherwise identical — serial simulation, which is the
+// baseline the determinism suite compares against. The lookahead must be
+// positive: it is the protocol's safety margin, derived from the minimum
+// cross-shard interaction delay.
+func NewSharded(shards int, lookahead Duration) *ShardedSimulator {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: sharded simulator needs at least 1 shard, got %d", shards))
+	}
+	if !(lookahead > 0) || math.IsInf(lookahead, 0) {
+		panic(fmt.Sprintf("sim: sharded simulator needs a positive finite lookahead, got %v", lookahead))
+	}
+	ss := &ShardedSimulator{
+		shards:    make([]*Simulator, shards),
+		lookahead: lookahead,
+		outbox:    make([][]crossEvent, shards),
+		sendSeq:   make([]uint64, shards),
+	}
+	for i := range ss.shards {
+		ss.shards[i] = New()
+	}
+	return ss
+}
+
+// Shards returns the shard count.
+func (ss *ShardedSimulator) Shards() int { return len(ss.shards) }
+
+// Lookahead returns the conservative lookahead bound.
+func (ss *ShardedSimulator) Lookahead() Duration { return ss.lookahead }
+
+// Shard returns shard i's kernel. Components pinned to shard i are built
+// on it exactly as they would be on a lone Simulator; during a window,
+// shard i's events must touch only state owned by shard i.
+func (ss *ShardedSimulator) Shard(i int) *Simulator { return ss.shards[i] }
+
+// ShardFor assigns a component key to a shard: a stable FNV-1a hash of the
+// identity, never of execution order, so a component lands on the same
+// shard in every run at a given shard count.
+func (ss *ShardedSimulator) ShardFor(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(len(ss.shards)))
+}
+
+// Send schedules fn on shard dst at absolute time at, from code running on
+// shard src. The event is buffered and delivered at the next barrier in
+// (time, source shard, source sequence) order. Inside a window the time
+// must respect the lookahead bound (at >= source now + lookahead) — that
+// bound is what makes the window safe to run in parallel, so violating it
+// panics loudly rather than corrupting the timeline. Same-shard sends take
+// the same buffered path, keeping delivery semantics uniform.
+func (ss *ShardedSimulator) Send(src, dst int, at Time, fn func()) {
+	s := ss.shards[src]
+	if ss.inWindow {
+		if min := s.now + ss.lookahead; at < min {
+			panic(fmt.Sprintf("sim: cross-shard send at %v violates lookahead bound %v (now %v + lookahead %v)",
+				at, min, s.now, ss.lookahead))
+		}
+	} else if at < s.now {
+		panic(fmt.Sprintf("sim: cross-shard send at %v before source now %v", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: cross-shard send at non-finite time %v", at))
+	}
+	ss.outbox[src] = append(ss.outbox[src], crossEvent{
+		at: at, seq: ss.sendSeq[src], src: int32(src), dst: int32(dst), fn: fn,
+	})
+	ss.sendSeq[src]++
+}
+
+// SetBarrier installs (or, with nil, removes) the hook run single-threaded
+// after every safe window with the window's horizon. All events before the
+// horizon have executed on every shard when it runs, so it is the natural
+// home for fleet-wide logic that must observe a consistent cut: it may
+// read any shard's components and schedule follow-up events at or after
+// the horizon.
+func (ss *ShardedSimulator) SetBarrier(fn func(horizon Time)) { ss.barrier = fn }
+
+// Now returns the committed global virtual time: the minimum of the shard
+// clocks. Individual shards may be ahead within the current window.
+func (ss *ShardedSimulator) Now() Time {
+	t := ss.shards[0].now
+	for _, s := range ss.shards[1:] {
+		if s.now < t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// EventsFired returns the total events executed across all shards: the
+// kernel fires exactly what was scheduled, at any shard count. Callers
+// that schedule per-shard bookkeeping events (e.g. one sampler chain per
+// shard) must subtract them before reporting a shard-invariant figure, as
+// the fleet experiment does.
+func (ss *ShardedSimulator) EventsFired() uint64 {
+	var n uint64
+	for _, s := range ss.shards {
+		n += s.fired
+	}
+	return n
+}
+
+// Pending returns the number of live events queued across all shards plus
+// any cross-shard events awaiting delivery.
+func (ss *ShardedSimulator) Pending() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += len(s.heap)
+	}
+	for _, box := range ss.outbox {
+		n += len(box)
+	}
+	return n
+}
+
+// nextTime returns the earliest pending event time across shards and
+// undelivered cross-shard sends, or +Inf when everything is drained.
+func (ss *ShardedSimulator) nextTime() Time {
+	t := math.Inf(1)
+	for _, s := range ss.shards {
+		if at := s.nextAt(); at < t {
+			t = at
+		}
+	}
+	for _, box := range ss.outbox {
+		for _, ev := range box {
+			if ev.at < t {
+				t = ev.at
+			}
+		}
+	}
+	return t
+}
+
+// Run executes safe windows until every shard's queue and every mailbox
+// drains.
+func (ss *ShardedSimulator) Run() { ss.RunUntil(math.Inf(1)) }
+
+// RunUntil executes all events scheduled at or before limit, window by
+// window, then advances every shard clock to exactly limit (when finite).
+// Events scheduled after limit remain queued, exactly as Simulator.RunUntil
+// leaves them.
+func (ss *ShardedSimulator) RunUntil(limit Time) {
+	for {
+		t := ss.nextTime()
+		if t > limit || math.IsInf(t, 1) {
+			break
+		}
+		h := t + ss.lookahead
+		ss.runOneWindow(h, limit)
+		ss.deliver()
+		if ss.barrier != nil {
+			ss.barrier(h)
+		}
+	}
+	if !math.IsInf(limit, 1) {
+		for _, s := range ss.shards {
+			if s.now < limit {
+				s.now = limit
+			}
+		}
+	}
+}
+
+// runOneWindow executes every shard's events in [now, h) ∩ [0, limit] —
+// in parallel when more than one shard has eligible work, inline
+// otherwise, so a single-shard configuration never pays goroutine
+// overhead.
+func (ss *ShardedSimulator) runOneWindow(h, limit Time) {
+	ss.inWindow = true
+	active := 0
+	var only *Simulator
+	for _, s := range ss.shards {
+		if at := s.nextAt(); at < h && at <= limit {
+			active++
+			only = s
+		}
+	}
+	switch {
+	case active == 0:
+		// Nothing eligible: all pending work is in mailboxes.
+	case active == 1:
+		only.runWindow(h, limit)
+	default:
+		var wg sync.WaitGroup
+		for _, s := range ss.shards {
+			if at := s.nextAt(); !(at < h && at <= limit) {
+				continue
+			}
+			wg.Add(1)
+			go func(s *Simulator) {
+				defer wg.Done()
+				s.runWindow(h, limit)
+			}(s)
+		}
+		wg.Wait()
+	}
+	ss.inWindow = false
+}
+
+// deliver merges every outbox, orders the events by (time, source shard,
+// source sequence) and inserts them into their destination shards. Running
+// at the barrier, single-threaded, the destination sequence numbers —
+// and with them every future tie-break — are deterministic.
+func (ss *ShardedSimulator) deliver() {
+	ss.merged = ss.merged[:0]
+	for src, box := range ss.outbox {
+		ss.merged = append(ss.merged, box...)
+		// Release the delivered closures promptly.
+		for i := range box {
+			box[i].fn = nil
+		}
+		ss.outbox[src] = box[:0]
+	}
+	if len(ss.merged) == 0 {
+		return
+	}
+	sortCrossEvents(ss.merged)
+	for i := range ss.merged {
+		ev := &ss.merged[i]
+		ss.shards[ev.dst].At(ev.at, ev.fn)
+		ev.fn = nil
+	}
+}
+
+// sortCrossEvents orders by (time, source shard, source sequence) — the
+// delivery tie-break. The key is unique (seq is per source), so an
+// unstable sort is deterministic. Delivery runs once per barrier, off the
+// per-event hot path, so sort.Slice's small bookkeeping cost is fine.
+func sortCrossEvents(evs []crossEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+}

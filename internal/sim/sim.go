@@ -289,6 +289,31 @@ func (s *Simulator) Run() {
 	}
 }
 
+// nextAt returns the time of the earliest queued event, or +Inf when the
+// queue is empty. The sharded coordinator polls it to pick each safe
+// window's base time.
+func (s *Simulator) nextAt() Time {
+	if len(s.heap) == 0 {
+		return math.Inf(1)
+	}
+	return s.arena[s.heap[0]].at
+}
+
+// runWindow executes every queued event with time strictly before h and
+// not after limit, leaving the clock at the last executed event. It is the
+// per-shard body of the sharded coordinator's safe window: events at or
+// beyond the horizon h belong to a later window, because another shard may
+// still deliver events ahead of them.
+func (s *Simulator) runWindow(h, limit Time) {
+	for len(s.heap) > 0 {
+		at := s.arena[s.heap[0]].at
+		if at >= h || at > limit {
+			return
+		}
+		s.step()
+	}
+}
+
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to exactly t. Events scheduled after t remain queued.
 func (s *Simulator) RunUntil(t Time) {

@@ -144,3 +144,34 @@ func QuantileSorted(sorted []float64, q float64) float64 {
 	}
 	return quantileSorted(sorted, q)
 }
+
+// QuantileSortedExcluding returns the q-quantile of the sorted slice with
+// the element at index skip removed, equal to copying the slice minus that
+// element and calling QuantileSorted — but in O(1), with no copy. The
+// peer-comparison detector reads an exclude-one fleet median per member
+// this way, which is what makes million-member sweeps feasible.
+func QuantileSortedExcluding(sorted []float64, skip int, q float64) float64 {
+	n := len(sorted)
+	if n <= 1 || skip < 0 || skip >= n || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	// at indexes the virtual n-1 element slice with sorted[skip] removed.
+	at := func(i int) float64 {
+		if i >= skip {
+			i++
+		}
+		return sorted[i]
+	}
+	m := n - 1
+	if m == 1 {
+		return at(0)
+	}
+	pos := q * float64(m-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return at(lo)
+	}
+	frac := pos - float64(lo)
+	return at(lo)*(1-frac) + at(hi)*frac
+}

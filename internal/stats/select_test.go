@@ -186,3 +186,27 @@ func TestSelectAndQuantileInPlaceDoNotAllocate(t *testing.T) {
 		t.Fatalf("QuantileInPlace allocates %v per run", n)
 	}
 }
+
+// Property: QuantileSortedExcluding equals copying the slice minus the
+// skipped element and reading QuantileSorted off the copy, for every skip
+// index and random q, on random data with duplicates.
+func TestQuantileSortedExcludingMatchesCopyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		xs := randSlice(rng, 2+rng.Intn(20))
+		sort.Float64s(xs)
+		skip := rng.Intn(len(xs))
+		q := rng.Float64()
+		rest := append(append([]float64(nil), xs[:skip]...), xs[skip+1:]...)
+		if got, want := QuantileSortedExcluding(xs, skip, q), QuantileSorted(rest, q); !sameFloat(got, want) {
+			t.Fatalf("trial %d: QuantileSortedExcluding(%v, %d, %v) = %v, want %v",
+				trial, xs, skip, q, got, want)
+		}
+	}
+	if !math.IsNaN(QuantileSortedExcluding([]float64{1}, 0, 0.5)) {
+		t.Fatal("single-element exclusion should be NaN")
+	}
+	if !math.IsNaN(QuantileSortedExcluding([]float64{1, 2}, 2, 0.5)) {
+		t.Fatal("out-of-range skip should be NaN")
+	}
+}
