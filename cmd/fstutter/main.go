@@ -8,7 +8,7 @@
 //	fstutter run E01 E03 A2      # run selected experiments
 //	fstutter e7                   # bare id: same as `run E07`
 //	fstutter all                  # run the full suite
-//	fstutter profile E05          # critical-path + SLO profile artifacts
+//	fstutter profile E05          # critical-path + SLO + barrier-cost artifacts
 //	fstutter bench -out B.json    # wall-clock benchmark artifact
 //	fstutter perfdiff old new     # diff two bench artifacts, gate on regress
 //
@@ -330,7 +330,8 @@ flags (before or after the subcommand):
   -audit            print the verdict audit timeline (and write
                     <ID>.audit.json next to metrics or traces)
   -out PATH         'profile' artifact directory (default profiles/):
-                    <ID>.profile.json + .folded.txt + .critpath.txt + .slo.json;
+                    <ID>.profile.json + .folded.txt + .critpath.txt + .slo.json
+                    + .barrier.json (sharded experiments: barrier cost profile);
                     or 'bench' artifact file (default stdout)
   -top N            rows in the 'profile' hot-frame table (default 15)
   -slo SECONDS      'profile' SLO latency threshold (0 = auto: 5x median)

@@ -5,18 +5,22 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"failstutter/internal/experiments"
 	"failstutter/internal/profile"
+	"failstutter/internal/sim"
 )
 
 // cmdProfile runs each experiment with the profiling plane on and emits
-// four artifacts per experiment into dir: the folded flame stacks
-// (<ID>.folded.txt), the critical-path text report (<ID>.critpath.txt),
-// the full profile JSON (<ID>.profile.json), and the SLO availability
-// analysis (<ID>.slo.json). The critical-path report also prints to
-// stdout. All artifacts are byte-deterministic at a fixed seed.
+// its artifacts into dir: the folded flame stacks (<ID>.folded.txt),
+// the critical-path text report (<ID>.critpath.txt), the full profile
+// JSON (<ID>.profile.json), and the SLO availability analysis
+// (<ID>.slo.json); experiments on the sharded kernel additionally get
+// the barrier cost profile (<ID>.barrier.json). The critical-path and
+// barrier reports also print to stdout. All artifacts are
+// byte-deterministic at a fixed seed and shard count.
 func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold float64, topN int) {
 	cfg.Profile = true
 	for _, id := range ids {
@@ -26,30 +30,71 @@ func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold f
 		}
 		tbl := e.Run(cfg)
 		tel := tbl.Telemetry
-		if tel == nil || tel.Tracer == nil {
+		if tel != nil && tel.Tracer != nil {
+			rep := profile.Analyze(tel.Tracer, tel.Metrics)
+			slo := profile.AnalyzeSLO(tel.Tracer, profile.SLOConfig{Threshold: sloThreshold})
+
+			fmt.Printf("== %s: profile ==\n", tbl.ID)
+			if err := rep.WriteText(os.Stdout, topN); err != nil {
+				fail(err)
+			}
+			fmt.Printf("slo: %s availability %.4f (%d/%d within %.4gs threshold",
+				slo.Category, slo.Availability, slo.Within, slo.Offered, slo.Threshold)
+			if slo.Auto {
+				fmt.Print(", auto")
+			}
+			fmt.Println(")")
+
+			writeArtifact(filepath.Join(dir, tbl.ID+".folded.txt"), rep.WriteFolded)
+			writeArtifact(filepath.Join(dir, tbl.ID+".profile.json"), rep.WriteJSON)
+			writeArtifact(filepath.Join(dir, tbl.ID+".slo.json"), slo.WriteJSON)
+			writeArtifact(filepath.Join(dir, tbl.ID+".critpath.txt"), func(w io.Writer) error {
+				return rep.WriteText(w, topN)
+			})
+		}
+
+		brep := barrierPass(cfg, e)
+		if brep != nil {
+			if err := brep.WriteText(os.Stdout); err != nil {
+				fail(err)
+			}
+			writeArtifact(filepath.Join(dir, tbl.ID+".barrier.json"), brep.WriteJSON)
+		}
+		if (tel == nil || tel.Tracer == nil) && brep == nil {
 			fail(fmt.Errorf("experiment %s produced no telemetry to profile", id))
 		}
-		rep := profile.Analyze(tel.Tracer, tel.Metrics)
-		slo := profile.AnalyzeSLO(tel.Tracer, profile.SLOConfig{Threshold: sloThreshold})
+	}
+}
 
-		fmt.Printf("== %s: profile ==\n", tbl.ID)
-		if err := rep.WriteText(os.Stdout, topN); err != nil {
-			fail(err)
-		}
-		fmt.Printf("slo: %s availability %.4f (%d/%d within %.4gs threshold",
-			slo.Category, slo.Availability, slo.Within, slo.Offered, slo.Threshold)
-		if slo.Auto {
-			fmt.Print(", auto")
-		}
-		fmt.Println(")")
-
-		writeArtifact(filepath.Join(dir, tbl.ID+".folded.txt"), rep.WriteFolded)
-		writeArtifact(filepath.Join(dir, tbl.ID+".profile.json"), rep.WriteJSON)
-		writeArtifact(filepath.Join(dir, tbl.ID+".slo.json"), slo.WriteJSON)
-		writeArtifact(filepath.Join(dir, tbl.ID+".critpath.txt"), func(w io.Writer) error {
-			return rep.WriteText(w, topN)
+// barrierPass reruns an experiment with every telemetry plane off — the
+// tracer pins sharded runs to one shard, so tracing and the parallel
+// schedule are mutually exclusive — at the configured shard count,
+// collecting each sharded kernel's barrier cost profile. Experiments
+// that never build a sharded kernel return nil and emit no artifact.
+// The JSON artifact holds only the deterministic fields; the wall-clock
+// window/barrier split goes to stdout.
+func barrierPass(cfg experiments.Config, e experiments.Experiment) *profile.BarrierReport {
+	cfg.Profile, cfg.Trace, cfg.Audit, cfg.Metrics = false, false, false, false
+	rep := &profile.BarrierReport{Experiment: e.ID}
+	cfg.ObserveBarrier = func(run string, st sim.BarrierStats, perShard []uint64) {
+		rep.Runs = append(rep.Runs, profile.BarrierRun{
+			Run:            run,
+			Shards:         len(perShard),
+			Windows:        st.Windows,
+			Fired:          st.Fired,
+			Delivered:      st.Delivered,
+			SoloWindows:    st.SoloWindows,
+			MaxWindowFired: st.MaxWindowFired,
+			PerShardFired:  perShard,
+			WindowNanos:    st.WindowNanos,
+			BarrierNanos:   st.BarrierNanos,
 		})
 	}
+	e.Run(cfg)
+	if len(rep.Runs) == 0 {
+		return nil
+	}
+	return rep
 }
 
 // cmdPerfDiff diffs two benchmark artifacts through the repo's own
@@ -83,6 +128,19 @@ func cmdPerfDiff(oldPath, newPath string, threshold float64, gate bool) {
 // full sample set runs in seconds.
 var benchTargets = []string{"E01", "E05", "E14", "E23", "E32"}
 
+// benchSuites are the plane-level workloads timed end to end at the
+// configured shard count: every experiment of the sharded switch fabric
+// and of the cluster plane, run back to back as one op. These are the
+// suites the shard-count flag exists for, so their wall-clock is the
+// number the "-shards pays off" question is answered with.
+var benchSuites = []struct {
+	name string
+	ids  []string
+}{
+	{"suite/switch", []string{"E10", "E11", "E12"}},
+	{"suite/cluster", []string{"E14", "E15", "E23", "E24", "E29"}},
+}
+
 // megaFleetDisks is the full-scale fleet the dedicated bench entries
 // run: the datacenter configuration the sharded kernel exists for.
 const megaFleetDisks = 1 << 20
@@ -101,7 +159,12 @@ const megaFleetDisks = 1 << 20
 // -samples.
 func cmdBench(cfg experiments.Config, samples int, outPath string) {
 	cfg.Quick = true
-	art := &profile.BenchArtifact{Schema: profile.BenchSchema, Seed: cfg.Seed, Quick: true}
+	art := &profile.BenchArtifact{
+		Schema: profile.BenchSchema, Seed: cfg.Seed, Quick: true,
+		Shards:     cfg.ShardCount(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	for _, id := range benchTargets {
 		e, err := experiments.Get(id)
 		if err != nil {
@@ -118,6 +181,31 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 		}
 		fmt.Fprintf(os.Stderr, "bench %-16s median %.4g ns/op over %d samples\n",
 			b.Name, b.Median(), samples)
+		art.Benchmarks = append(art.Benchmarks, b)
+	}
+
+	for _, suite := range benchSuites {
+		runs := make([]experiments.Experiment, len(suite.ids))
+		for i, id := range suite.ids {
+			e, err := experiments.Get(id)
+			if err != nil {
+				fail(err)
+			}
+			runs[i] = e
+		}
+		b := profile.Bench{Name: suite.name, Unit: "ns/op"}
+		for i := 0; i < samples; i++ {
+			res := testing.Benchmark(func(tb *testing.B) {
+				for n := 0; n < tb.N; n++ {
+					for _, e := range runs {
+						e.Run(cfg)
+					}
+				}
+			})
+			b.Samples = append(b.Samples, float64(res.NsPerOp()))
+		}
+		fmt.Fprintf(os.Stderr, "bench %-16s (%d shards) median %.4g ns/op over %d samples\n",
+			b.Name, cfg.ShardCount(), b.Median(), samples)
 		art.Benchmarks = append(art.Benchmarks, b)
 	}
 

@@ -41,6 +41,7 @@ type DHTParams struct {
 type DHT struct {
 	p     DHTParams
 	sim   *sim.Simulator
+	ss    *sim.ShardedSimulator // non-nil when built with NewShardedDHT
 	nodes []*DHTNode
 	flags []bool
 	hints int64
@@ -164,7 +165,22 @@ func NewDHT(s *sim.Simulator, p DHTParams) *DHT {
 	return d
 }
 
-// Sim returns the simulator the table runs on.
+// NewShardedDHT builds the table under a sharded coordinator, pinned as a
+// group to the shard its identity ("dht") hashes to. The pin is load-borne,
+// not incidental: a synchronous put's ack path closes the moment the last
+// replica write completes — a zero-latency interaction that admits no
+// positive lookahead — so the bricks cannot be split across shards. Running
+// under the coordinator still matters: the table shares the fleet's window
+// clock with whatever else the experiment runs, and its results are
+// trivially byte-identical at every shard count.
+func NewShardedDHT(ss *sim.ShardedSimulator, p DHTParams) *DHT {
+	d := NewDHT(ss.Shard(ss.ShardFor("dht")), p)
+	d.ss = ss
+	return d
+}
+
+// Sim returns the simulator the table runs on — its home shard's kernel
+// when built with NewShardedDHT.
 func (d *DHT) Sim() *sim.Simulator { return d.sim }
 
 // SetTracer attaches a span tracer: every node's station records its
@@ -447,7 +463,9 @@ func (d *DHT) RunLoad(clients int, duration sim.Duration) int64 {
 			active--
 			if active == 0 {
 				loadRunning = false
-				s.Stop()
+				if d.ss == nil {
+					s.Stop()
+				}
 			}
 		}
 		issue()
@@ -472,7 +490,23 @@ func (d *DHT) RunLoad(clients int, duration sim.Duration) int64 {
 		}
 		s.After(d.p.SampleEvery, tick)
 	}
-	s.Run()
+	if d.ss != nil {
+		// Sharded: the home shard's kernel is driven by the coordinator,
+		// and an armed GC schedule would keep its event chain alive forever,
+		// so the run is stopped from the barrier the moment the last client
+		// acknowledges. Counters are untouched by anything after that ack —
+		// stale load ticks see loadRunning false — so the extra events the
+		// final window runs change nothing.
+		d.ss.SetBarrier(func(h sim.Time) {
+			if active == 0 {
+				d.ss.Stop()
+			}
+		})
+		d.ss.Run()
+		d.ss.SetBarrier(nil)
+	} else {
+		s.Run()
+	}
 	if active != 0 {
 		panic(fmt.Sprintf("cluster: DHT load stalled with %d clients blocked (is a replica permanently at speed 0?)", active))
 	}
@@ -483,7 +517,11 @@ func (d *DHT) RunLoad(clients int, duration sim.Duration) int64 {
 // must be cancelled first, or the drain never finishes) and, in adaptive
 // mode, takes one detector sample so flags reflect the drained state.
 func (d *DHT) Settle() {
-	d.sim.Run()
+	if d.ss != nil {
+		d.ss.Run()
+	} else {
+		d.sim.Run()
+	}
 	if d.p.Adaptive {
 		d.sample()
 	}

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"failstutter/internal/sim"
+)
+
+// This file is the barrier engine: the sharded counterpart of engine.run.
+//
+// A serial scheduler run is a chain of completion events — worker finishes,
+// engine claims the task and hands the worker its next one, all at the
+// same instant. Sharded, the engine's ledger is global state no window may
+// touch, so the chain is split at the coordinator's barrier:
+//
+//   - during a window, a finishing worker only appends (time, worker) to
+//     its own shard's completion buffer — no locks, no shared state;
+//   - at the barrier, the buffers are merged and settled in (time, worker)
+//     order — a placement-invariant total order — claiming tasks, charging
+//     waste, and running any monitor ticks that fell inside the window in
+//     time order with the completions;
+//   - every follow-up dispatch lands at the window horizon, the earliest
+//     instant the barrier may schedule into, on the target worker's own
+//     kernel.
+//
+// The horizon dispatch means a sharded makespan trails its serial
+// counterpart by at most one lookahead per dispatch chain — a bounded,
+// deterministic skew — in exchange for every window running all shards in
+// parallel. Monitors ride a real event chain on shard 0 so windows keep
+// coming while every pending completion sits inside a stalled station, and
+// when the job finishes mid-window the still-running executions are cut at
+// the horizon, their partial progress charged to waste shard-locally.
+
+// completionRec is one execution completion recorded shard-locally during
+// a window: the event time and the finishing worker. Worker IDs never
+// depend on the partition, so (at, w) orders the merged stream identically
+// at every shard count.
+type completionRec struct {
+	at sim.Time
+	w  int
+}
+
+// runSharded drives the job through the coordinator's safe windows,
+// starting (and timing the makespan) at start — the current time for an
+// immediate job, a window horizon for one deferred by a gauge phase.
+func (e *engine) runSharded(start sim.Time) Report {
+	ss := e.p.ss
+	e.start = start
+	e.startUnits = snapshotUnits(e.p)
+	if e.left == 0 {
+		e.doneAt = start
+		e.finished = true
+	} else {
+		e.comp = make([][]completionRec, ss.Shards())
+		e.cutWaste = make([]float64, ss.Shards())
+		if e.needSample {
+			e.sampled = snapshotUnits(e.p)
+		}
+		for _, w := range e.p.workers {
+			w := w
+			w.finish = func(*Worker) {
+				e.comp[w.shard] = append(e.comp[w.shard], completionRec{at: w.sim.Now(), w: w.id})
+			}
+		}
+		e.curNow = start
+		for i := range e.p.workers {
+			e.dispatchShardedAt(i, start)
+		}
+		if e.monitor != nil {
+			e.nextMon = start + e.monitorPeriod
+			// The monitor must be a real event chain — on shard 0, the
+			// conventional home for coordinator bookkeeping — not just
+			// barrier arithmetic: when every pending completion sits in a
+			// stalled station the event queue would otherwise drain and no
+			// further window (hence no further tick) would ever run. The
+			// chain's events carry no logic; the barrier replays the tick
+			// instants in order against the completion stream.
+			ctrl := ss.Shard(0)
+			var tick func()
+			tick = func() {
+				if e.finished {
+					return
+				}
+				ctrl.After(e.monitorPeriod, tick)
+			}
+			ctrl.At(e.nextMon, tick)
+		}
+		if e.needSample {
+			// Per-worker throughput samples are taken at tick times on each
+			// worker's own shard: reading UnitsDone cross-shard at the
+			// barrier would observe however far that shard happened to run
+			// its window — a placement-dependent value.
+			for _, w := range e.p.workers {
+				w := w
+				var tick func()
+				tick = func() {
+					if e.finished {
+						return
+					}
+					e.sampled[w.id] = w.UnitsDone()
+					w.sim.After(e.monitorPeriod, tick)
+				}
+				w.sim.At(start+e.monitorPeriod, tick)
+			}
+		}
+		ss.SetBarrier(e.barrierSettle)
+		ss.Run()
+		ss.SetBarrier(nil)
+		for _, w := range e.p.workers {
+			w.finish = nil
+		}
+		if !e.finished {
+			panic(fmt.Sprintf(
+				"cluster: %s job stalled with %d of %d tasks unclaimed (a fully stalled worker holds work no policy will replicate)",
+				e.name, e.left, len(e.byID)))
+		}
+		for _, wu := range e.cutWaste {
+			e.wasted += wu
+		}
+	}
+	return Report{
+		Scheduler:      e.name,
+		Makespan:       e.doneAt - e.start,
+		Tasks:          len(e.byID),
+		PerWorkerUnits: perWorkerUnits(e.p, e.startUnits),
+		WastedUnits:    e.wasted,
+		Duplicates:     e.dups,
+	}
+}
+
+// barrierSettle runs after every safe window: it merges the shards'
+// completion buffers and settles completions and monitor ticks in one
+// time-ordered stream (completions first on a tie — the serial engine
+// claims a completion before a monitor scheduled at the same instant can
+// reissue it).
+func (e *engine) barrierSettle(h sim.Time) {
+	e.hNow = h
+	merged := e.mergedComp[:0]
+	for shard := range e.comp {
+		merged = append(merged, e.comp[shard]...)
+		e.comp[shard] = e.comp[shard][:0]
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].at != merged[j].at {
+			return merged[i].at < merged[j].at
+		}
+		return merged[i].w < merged[j].w
+	})
+	e.mergedComp = merged
+	i := 0
+	for {
+		monPending := e.monitor != nil && !e.finished && e.nextMon < h
+		switch {
+		case i < len(merged) && (!monPending || merged[i].at <= e.nextMon):
+			e.settleCompletion(merged[i], h)
+			i++
+		case monPending:
+			e.curNow = e.nextMon
+			e.monitor(e.nextMon)
+			e.nextMon += e.monitorPeriod
+		default:
+			return
+		}
+	}
+}
+
+// settleCompletion applies one merged completion record: claim or waste,
+// then re-dispatch at the horizon. Records settled after the job finished
+// — executions that completed later in the finish window — charge their
+// full size to waste; the serial engine would have stopped before they
+// completed and charged only their partial progress, a bounded difference
+// the cut protocol documents.
+func (e *engine) settleCompletion(rec completionRec, h sim.Time) {
+	id := e.cur[rec.w]
+	e.cur[rec.w] = -1
+	e.curNow = rec.at
+	if e.finished {
+		e.wasted += float64(e.byID[id].Units)
+		return
+	}
+	if !e.claimed[id] {
+		e.claimed[id] = true
+		e.left--
+		e.durations = append(e.durations, rec.at-e.execStart[rec.w])
+		if e.left == 0 {
+			e.completeSharded(rec.at, h)
+			return
+		}
+	} else {
+		e.wasted += float64(e.byID[id].Units)
+	}
+	e.dispatchShardedAt(rec.w, h)
+}
+
+// completeSharded records the finish and cuts every still-running
+// execution at the horizon: a cut event on the worker's own kernel cancels
+// the in-flight request, credits its partial progress to the worker (the
+// serial run's post-stop ServedInCurrent would have counted it) and
+// charges it to a shard-local waste accumulator, summed after the run.
+func (e *engine) completeSharded(at, h sim.Time) {
+	e.doneAt = at
+	e.finished = true
+	for i, w := range e.p.workers {
+		if e.cur[i] < 0 {
+			continue
+		}
+		w := w
+		w.sim.At(h, func() {
+			if served, ok := w.st.CancelCurrent(); ok {
+				w.doneUnits += served
+				e.cutWaste[w.shard] += served
+			}
+		})
+	}
+}
+
+// dispatchShardedAt hands worker i its next task per the policy, starting
+// the execution at the given instant — immediately when the worker's clock
+// is already there (initial dispatch), via a scheduled event otherwise
+// (barrier dispatch at the horizon).
+func (e *engine) dispatchShardedAt(i int, at sim.Time) {
+	if e.finished {
+		return
+	}
+	t, ok := e.next(i)
+	if !ok {
+		e.idle[i] = true
+		return
+	}
+	e.idle[i] = false
+	e.cur[i] = t.ID
+	e.execStart[i] = at
+	if e.firstStart[t.ID] < 0 {
+		e.firstStart[t.ID] = at
+	}
+	w := e.p.workers[i]
+	units := float64(t.Units)
+	if at > w.sim.Now() {
+		w.sim.At(at, func() { w.exec(units) })
+	} else {
+		w.exec(units)
+	}
+}
+
+// gaugeSharded is GaugedPartition's probe phase on a sharded pool: probe
+// every worker, record each speed on the worker's own shard, and stop the
+// coordinator at the horizon of the window that saw the last probe finish.
+// That horizon — a placement-invariant instant — is returned as the main
+// job's start time; fault events the caller scheduled for later stay
+// queued, exactly as the serial gauge's Stop leaves them.
+func gaugeSharded(p *Pool, probe int) ([]float64, sim.Time) {
+	ss := p.ss
+	n := p.Size()
+	speeds := make([]float64, n)
+	fin := make([]bool, n)
+	t0 := ss.Now()
+	for _, w := range p.workers {
+		w := w
+		w.finish = func(*Worker) {
+			speeds[w.id] = float64(probe) / (w.sim.Now() - t0)
+			fin[w.id] = true
+		}
+	}
+	for _, w := range p.workers {
+		w.exec(float64(probe))
+	}
+	var stopAt sim.Time
+	stopped := false
+	ss.SetBarrier(func(h sim.Time) {
+		if stopped {
+			return
+		}
+		for _, f := range fin {
+			if !f {
+				return
+			}
+		}
+		stopped = true
+		stopAt = h
+		ss.Stop()
+	})
+	ss.Run()
+	ss.SetBarrier(nil)
+	for _, w := range p.workers {
+		w.finish = nil
+	}
+	if !stopped {
+		panic("cluster: gauged-partition probe stalled (a probed worker never finished)")
+	}
+	return speeds, stopAt
+}

@@ -31,6 +31,12 @@ type Worker struct {
 	id int
 	st *sim.Station
 
+	// sim is the kernel the worker's station runs on — the pool's lone
+	// simulator in a serial pool, the worker's home shard in a sharded one.
+	// shard is that home shard's index (0 in a serial pool).
+	sim   *sim.Simulator
+	shard int
+
 	// req is the single reusable request for this worker's executions: a
 	// worker serves one task at a time, so the steady-state step path
 	// (exec -> station completion -> dispatch -> exec) allocates nothing.
@@ -50,7 +56,7 @@ func newWorker(s *sim.Simulator, id int, quantum sim.Duration) *Worker {
 	if quantum <= 0 {
 		panic("cluster: quantum must be positive")
 	}
-	w := &Worker{id: id}
+	w := &Worker{id: id, sim: s}
 	w.st = sim.NewStation(s, fmt.Sprintf("worker-%d", id), 1/quantum)
 	w.req.OnDone = w.reqDone
 	return w
@@ -102,8 +108,12 @@ func (w *Worker) reqDone(r *sim.Request) {
 }
 
 // Pool is a set of workers sharing one simulator and work-unit quantum.
+// A sharded pool (NewShardedPool) additionally spreads its workers across
+// the coordinator's shards; jobs running on it dispatch at window barriers
+// instead of completion instants.
 type Pool struct {
 	sim     *sim.Simulator
+	ss      *sim.ShardedSimulator // nil in a serial pool
 	workers []*Worker
 	quantum sim.Duration
 	// tracer, when non-nil, also records job-level activity (BSP
@@ -125,8 +135,34 @@ func NewPool(s *sim.Simulator, n int, quantum sim.Duration) *Pool {
 	return p
 }
 
-// Sim returns the simulator the pool runs on.
+// NewShardedPool builds n workers on the sharded coordinator, placing
+// worker i on the shard its identity ("worker-<i>") hashes to. Jobs run on
+// such a pool through the barrier engine: completions are recorded
+// shard-locally during each safe window and settled — claims, waste,
+// re-dispatch — at the barrier in (time, worker) order, so results are
+// byte-identical at every shard count.
+func NewShardedPool(ss *sim.ShardedSimulator, n int, quantum sim.Duration) *Pool {
+	if n < 1 {
+		panic("cluster: pool needs at least one worker")
+	}
+	p := &Pool{sim: ss.Shard(0), ss: ss, quantum: quantum}
+	for i := 0; i < n; i++ {
+		home := ss.ShardFor(fmt.Sprintf("worker-%d", i))
+		w := newWorker(ss.Shard(home), i, quantum)
+		w.shard = home
+		p.workers = append(p.workers, w)
+	}
+	return p
+}
+
+// Sim returns the simulator the pool runs on. For a sharded pool this is
+// shard 0's kernel — fine for reading time before a run, wrong for
+// scheduling mid-run injections on workers living on other shards; use
+// SetSpeedAt for those.
 func (p *Pool) Sim() *sim.Simulator { return p.sim }
+
+// Sharded returns the sharded coordinator, or nil for a serial pool.
+func (p *Pool) Sharded() *sim.ShardedSimulator { return p.ss }
 
 // Workers returns the pool members.
 func (p *Pool) Workers() []*Worker { return p.workers }
@@ -157,7 +193,16 @@ func (p *Pool) Quantum() sim.Duration { return p.quantum }
 func (p *Pool) Hog(i int, speed float64, d sim.Duration) {
 	w := p.workers[i]
 	w.SetSpeed(speed)
-	p.sim.After(d, func() { w.SetSpeed(1) })
+	w.sim.After(d, func() { w.SetSpeed(1) })
+}
+
+// SetSpeedAt schedules a speed change for worker i at the given virtual
+// time on the worker's own kernel — the one place such an injection is
+// safe in a sharded pool, where a foreign shard's clock must not be used
+// to time another worker's fault.
+func (p *Pool) SetSpeedAt(i int, at sim.Time, speed float64) {
+	w := p.workers[i]
+	w.sim.At(at, func() { w.SetSpeed(speed) })
 }
 
 // snapshotUnits captures every worker's cumulative units.

@@ -22,6 +22,14 @@ type SwitchParams struct {
 	// destination's buffer is full, senders block head-of-line — the flow
 	// control mechanism behind the CM-5 transpose collapse.
 	BufferBytes float64
+	// WireLatency is the one-way propagation delay of every hop between a
+	// node and the crossbar: reserve requests, buffer grants and message
+	// heads each pay one wire crossing. Zero models an instantaneous
+	// fabric — the only mode NewSwitch supports. NewShardedSwitch requires
+	// it positive: the wire is the fabric's minimum cross-port delay and
+	// therefore the conservative lookahead that lets ports run on
+	// different shards.
+	WireLatency sim.Duration
 }
 
 // Switch is a crossbar connecting Ports nodes. Each output port has a
@@ -29,57 +37,126 @@ type SwitchParams struct {
 // space before transmitting and block (head-of-line) when the destination
 // is full. Contended buffer space is granted by route weight, modelling
 // the Myrinet unfairness observation; equal weights yield FIFO fairness.
+//
+// A switch runs in one of two modes. NewSwitch builds the serial mode:
+// every port on one kernel, hops instantaneous. NewShardedSwitch spreads
+// the port groups (sender i + output port i) across the shards of a
+// ShardedSimulator by identity hash; every cross-port hop then travels
+// one WireLatency over the cross-shard data path, and same-time arrivals
+// at an output port are ordered by a placement-invariant mailbox key so
+// results are byte-identical at any shard count.
 type Switch struct {
-	s      *sim.Simulator
+	s      *sim.Simulator        // serial kernel; nil in sharded mode
+	ss     *sim.ShardedSimulator // sharded coordinator; nil in serial mode
 	params SwitchParams
 	outs   []*outPort
 	sends  []*Sender
-	frozen *faults.Composite // unused placeholder; freezing drives slots directly
-	seq    uint64
+	// shardOf maps port -> shard in sharded mode.
+	shardOf []int
+	seq     uint64
 }
 
 type outPort struct {
+	kernel   *sim.Simulator
 	station  *sim.Station
 	comp     *faults.Composite
+	mb       *sim.Mailbox // sharded mode: orders same-time arrivals
+	origin   string
 	buffered float64
 	limit    float64
 	waiters  []*bufWaiter
-	// delivered tracks bytes fully drained by the receiver.
-	delivered float64
+	// delivered tracks bytes fully drained by the receiver;
+	// lastDeliveredAt is the instant of the most recent drain completion.
+	delivered       float64
+	lastDeliveredAt sim.Time
 }
 
+// bufWaiter is one blocked reservation. Admission order is (weight desc,
+// request-arrival time asc, key asc); key embeds (sender port, sender
+// event seq), so the order is placement-invariant — it never depends on
+// which shard a contending sender happens to run on.
 type bufWaiter struct {
 	size   float64
 	weight float64
-	seq    uint64
+	at     sim.Time
+	key    uint64
 	grant  func()
 }
 
-// NewSwitch builds the switch and its per-node senders.
+// NewSwitch builds the serial switch and its per-node senders: one
+// kernel, instantaneous hops.
 func NewSwitch(s *sim.Simulator, p SwitchParams) *Switch {
-	if p.Ports < 2 || p.LinkRate <= 0 || p.DrainRate <= 0 || p.BufferBytes <= 0 {
-		panic(fmt.Sprintf("device: invalid switch params %+v", p))
+	validateSwitchParams(p)
+	if p.WireLatency != 0 {
+		panic("device: the serial switch models an instantaneous fabric; use NewShardedSwitch for WireLatency > 0")
 	}
 	sw := &Switch{s: s, params: p}
 	for i := 0; i < p.Ports; i++ {
-		st := sim.NewStation(s, fmt.Sprintf("out-%d", i), p.DrainRate)
-		sw.outs = append(sw.outs, &outPort{
-			station: st,
-			comp:    faults.NewComposite(st),
-			limit:   p.BufferBytes,
-		})
+		sw.outs = append(sw.outs, newOutPort(s, i, p))
 	}
 	for i := 0; i < p.Ports; i++ {
-		link := sim.NewStation(s, fmt.Sprintf("link-%d", i), p.LinkRate)
-		sw.sends = append(sw.sends, &Sender{
-			sw:     sw,
-			id:     i,
-			link:   link,
-			comp:   faults.NewComposite(link),
-			weight: 1,
-		})
+		sw.sends = append(sw.sends, newSender(sw, s, i, p))
 	}
 	return sw
+}
+
+// NewShardedSwitch builds the switch across the shards of ss: port group
+// i (sender i and output port i) lives on shard ShardFor("port-i"). The
+// wire latency must be positive and at least the coordinator's lookahead
+// — it is the delay every cross-port interaction pays, which is exactly
+// what makes the parallel windows safe.
+func NewShardedSwitch(ss *sim.ShardedSimulator, p SwitchParams) *Switch {
+	validateSwitchParams(p)
+	if p.WireLatency <= 0 {
+		panic("device: sharded switch needs a positive WireLatency")
+	}
+	if ss.Lookahead() > p.WireLatency {
+		panic(fmt.Sprintf("device: lookahead %v exceeds wire latency %v — cross-port sends would violate the bound",
+			ss.Lookahead(), p.WireLatency))
+	}
+	sw := &Switch{ss: ss, params: p, shardOf: make([]int, p.Ports)}
+	for i := 0; i < p.Ports; i++ {
+		sw.shardOf[i] = ss.ShardFor(fmt.Sprintf("port-%d", i))
+	}
+	for i := 0; i < p.Ports; i++ {
+		o := newOutPort(ss.Shard(sw.shardOf[i]), i, p)
+		o.mb = sim.NewMailbox(o.kernel)
+		sw.outs = append(sw.outs, o)
+	}
+	for i := 0; i < p.Ports; i++ {
+		sw.sends = append(sw.sends, newSender(sw, ss.Shard(sw.shardOf[i]), i, p))
+	}
+	return sw
+}
+
+func validateSwitchParams(p SwitchParams) {
+	if p.Ports < 2 || p.LinkRate <= 0 || p.DrainRate <= 0 || p.BufferBytes <= 0 || p.WireLatency < 0 {
+		panic(fmt.Sprintf("device: invalid switch params %+v", p))
+	}
+}
+
+func newOutPort(s *sim.Simulator, i int, p SwitchParams) *outPort {
+	st := sim.NewStation(s, fmt.Sprintf("out-%d", i), p.DrainRate)
+	return &outPort{
+		kernel:  s,
+		station: st,
+		comp:    faults.NewComposite(st),
+		origin:  fmt.Sprintf("out-%d", i),
+		limit:   p.BufferBytes,
+	}
+}
+
+func newSender(sw *Switch, s *sim.Simulator, i int, p SwitchParams) *Sender {
+	link := sim.NewStation(s, fmt.Sprintf("link-%d", i), p.LinkRate)
+	return &Sender{
+		sw:     sw,
+		id:     i,
+		kernel: s,
+		link:   link,
+		comp:   faults.NewComposite(link),
+		origin: fmt.Sprintf("sender-%d", i),
+		weight: 1,
+	}
 }
 
 // Params returns the construction parameters.
@@ -106,12 +183,41 @@ func (sw *Switch) TotalDelivered() float64 {
 	return t
 }
 
+// LastDeliveredAt returns the latest drain-completion instant across all
+// receivers — the completion time of a fully drained workload. Safe to
+// read at a barrier in sharded mode.
+func (sw *Switch) LastDeliveredAt() sim.Time {
+	t := sim.Time(0)
+	for _, o := range sw.outs {
+		if o.lastDeliveredAt > t {
+			t = o.lastDeliveredAt
+		}
+	}
+	return t
+}
+
 // FreezeAt schedules a whole-switch freeze: for the duration, no port
 // drains and no link transmits. This reproduces the Myrinet
 // deadlock-recovery behaviour the paper describes — "halting all switch
-// traffic for two seconds".
+// traffic for two seconds". In sharded mode each port group freezes and
+// thaws via events on its own shard, at the same instants on every
+// shard count.
 func (sw *Switch) FreezeAt(at sim.Time, duration sim.Duration) {
 	const slot = "switch-freeze"
+	if sw.ss != nil {
+		for i := range sw.outs {
+			o, sd := sw.outs[i], sw.sends[i]
+			o.kernel.At(at, func() {
+				o.comp.Set(slot, 0)
+				sd.comp.Set(slot, 0)
+			})
+			o.kernel.At(at+duration, func() {
+				o.comp.Clear(slot)
+				sd.comp.Clear(slot)
+			})
+		}
+		return
+	}
 	sw.s.At(at, func() {
 		for _, o := range sw.outs {
 			o.comp.Set(slot, 0)
@@ -130,9 +236,26 @@ func (sw *Switch) FreezeAt(at sim.Time, duration sim.Duration) {
 	})
 }
 
+// wire sends fn across the fabric from srcPort's shard to dstPort's
+// shard, one WireLatency ahead, attributed to origin in lookahead
+// diagnostics.
+func (sw *Switch) wire(srcPort, dstPort int, origin string, fn func()) {
+	at := sw.sends[srcPort].kernel.Now() + sw.params.WireLatency
+	sw.ss.Send(sw.shardOf[srcPort], sw.shardOf[dstPort], at, origin, fn)
+}
+
+// wireToOut is wire with mailbox ordering at the destination output port:
+// same-time arrivals from different senders replay in (sender port,
+// sender event) order regardless of the partition.
+func (sw *Switch) wireToOut(srcPort, dstPort int, origin string, key uint64, fn func()) {
+	o := sw.outs[dstPort]
+	sw.wire(srcPort, dstPort, origin, func() { o.mb.Post(key, fn) })
+}
+
 // reserve asks for buffer space at the destination; it calls grant
 // immediately if space is available, otherwise queues the request by
-// weight.
+// weight. Serial mode only — the sharded path runs arriveReserve on the
+// output port's own shard.
 func (sw *Switch) reserve(dst int, size, weight float64, grant func()) {
 	o := sw.outs[dst]
 	if size > o.limit {
@@ -144,22 +267,43 @@ func (sw *Switch) reserve(dst int, size, weight float64, grant func()) {
 		return
 	}
 	sw.seq++
-	o.waiters = append(o.waiters, &bufWaiter{size: size, weight: weight, seq: sw.seq, grant: grant})
+	o.waiters = append(o.waiters, &bufWaiter{
+		size: size, weight: weight, at: sw.s.Now(), key: sw.seq, grant: grant,
+	})
+}
+
+// arriveReserve is the sharded reserve path, running on the output
+// port's shard when the request crosses the wire.
+func (o *outPort) arriveReserve(size, weight float64, key uint64, grant func()) {
+	if size > o.limit {
+		panic(fmt.Sprintf("device: message of %v bytes exceeds port buffer %v", size, o.limit))
+	}
+	if o.buffered+size <= o.limit && len(o.waiters) == 0 {
+		o.buffered += size
+		grant()
+		return
+	}
+	o.waiters = append(o.waiters, &bufWaiter{
+		size: size, weight: weight, at: o.kernel.Now(), key: key, grant: grant,
+	})
 }
 
 // release returns drained bytes to the buffer pool and admits waiters,
-// highest weight first (FIFO within equal weights).
+// highest weight first, then earliest request, then lowest sender key.
 func (sw *Switch) release(dst int, size float64) {
 	o := sw.outs[dst]
 	o.buffered -= size
 	o.delivered += size
+	o.lastDeliveredAt = o.kernel.Now()
 	for len(o.waiters) > 0 {
-		// Pick the best waiter by (weight desc, seq asc).
+		// Pick the best waiter by (weight desc, at asc, key asc).
 		best := 0
 		for i, w := range o.waiters[1:] {
 			cand := w
 			cur := o.waiters[best]
-			if cand.weight > cur.weight || (cand.weight == cur.weight && cand.seq < cur.seq) {
+			if cand.weight > cur.weight ||
+				(cand.weight == cur.weight && (cand.at < cur.at ||
+					(cand.at == cur.at && cand.key < cur.key))) {
 				best = i + 1
 			}
 		}
@@ -178,7 +322,10 @@ type Message struct {
 	Dst  int
 	Size float64
 	// OnDelivered, if non-nil, fires when the receiver finishes draining
-	// the message.
+	// the message. In sharded mode it runs on the destination port's
+	// shard and must only touch state owned by that shard; workloads that
+	// need global completion detection read DeliveredBytes at a barrier
+	// instead.
 	OnDelivered func()
 }
 
@@ -188,13 +335,18 @@ type Message struct {
 type Sender struct {
 	sw     *Switch
 	id     int
+	kernel *sim.Simulator
 	link   *sim.Station
 	comp   *faults.Composite
+	origin string
 	weight float64
 
 	queue  []Message
 	active bool
 	onIdle func()
+	// evSeq numbers this sender's wire events; with the port id it forms
+	// the placement-invariant mailbox/waiter key.
+	evSeq uint64
 
 	sent      uint64
 	bytesSent float64
@@ -224,6 +376,13 @@ func (sd *Sender) BytesSent() float64 { return sd.bytesSent }
 // Backlog returns the number of unsent queued messages.
 func (sd *Sender) Backlog() int { return len(sd.queue) }
 
+// nextKey mints the sender's next placement-invariant event key.
+func (sd *Sender) nextKey() uint64 {
+	k := uint64(sd.id)<<32 | sd.evSeq
+	sd.evSeq++
+	return k
+}
+
 // Enqueue appends messages to the send queue and starts transmission if
 // idle. onIdle (optional, may be nil) replaces any previous idle callback
 // and fires when the queue fully drains onto the fabric.
@@ -234,6 +393,9 @@ func (sd *Sender) Enqueue(msgs []Message, onIdle func()) {
 		}
 		if m.Size <= 0 {
 			panic("device: message size must be positive")
+		}
+		if m.Size > sd.sw.params.BufferBytes {
+			panic(fmt.Sprintf("device: message of %v bytes exceeds port buffer %v", m.Size, sd.sw.params.BufferBytes))
 		}
 	}
 	sd.queue = append(sd.queue, msgs...)
@@ -257,6 +419,10 @@ func (sd *Sender) next() {
 	}
 	m := sd.queue[0]
 	sd.queue = sd.queue[1:]
+	if sd.sw.ss != nil {
+		sd.nextSharded(m)
+		return
+	}
 	sd.sw.reserve(m.Dst, m.Size, sd.weight, func() {
 		// Space reserved: serialize onto the fabric at link rate...
 		sd.link.SubmitFunc(m.Size, func(*sim.Request) {
@@ -270,7 +436,42 @@ func (sd *Sender) next() {
 					m.OnDelivered()
 				}
 			})
-			sd.next()
+		})
+		sd.next()
+	})
+}
+
+// nextSharded runs one message through the sharded fabric: the reserve
+// request crosses the wire to the output port's shard, the grant crosses
+// back, the link serializes locally, and the message head crosses the
+// wire again before draining at the receiver. Each crossing takes the
+// batched lane path and lands in the port mailbox, so contention is
+// resolved in placement-invariant order.
+func (sd *Sender) nextSharded(m Message) {
+	sw := sd.sw
+	o := sw.outs[m.Dst]
+	// Both keys are minted here, on the sender's shard: the waiter key
+	// crosses the wire inside the closure rather than being derived on
+	// the destination shard.
+	waiterKey := sd.nextKey()
+	sw.wireToOut(sd.id, m.Dst, sd.origin, sd.nextKey(), func() {
+		o.arriveReserve(m.Size, sd.weight, waiterKey, func() {
+			// Granted, on the output port's shard: notify the sender.
+			sw.wire(m.Dst, sd.id, o.origin, func() {
+				sd.link.SubmitFunc(m.Size, func(*sim.Request) {
+					sd.sent++
+					sd.bytesSent += m.Size
+					sw.wireToOut(sd.id, m.Dst, sd.origin, sd.nextKey(), func() {
+						o.station.SubmitFunc(m.Size, func(*sim.Request) {
+							sw.release(m.Dst, m.Size)
+							if m.OnDelivered != nil {
+								m.OnDelivered()
+							}
+						})
+					})
+					sd.next()
+				})
+			})
 		})
 	})
 }

@@ -12,6 +12,28 @@ import (
 // costs at node speed 1: 50 microseconds of virtual time.
 const clusterQuantum = sim.Duration(50e-6)
 
+// clusterLookahead is the sharded coordinator's window for the cluster
+// plane, derived from the worker quantum — the minimum interval at which a
+// worker's state can matter to anyone else. Cross-worker coordination
+// happens at barriers (not via lookahead-bounded sends), so the value only
+// sets the dispatch granularity: each completion's follow-up dispatch lands
+// at most one quantum later than it would serially.
+const clusterLookahead = clusterQuantum
+
+// shardedCluster builds the coordinator the cluster experiments run on —
+// the sharded kernel at the configured count, except when tracing is on:
+// tracer span IDs are allocated in execution order, which only the
+// single-shard schedule makes placement-invariant, so traced runs pin to
+// one shard. Tables stay byte-identical either way; that is the
+// determinism suite's contract.
+func shardedCluster(cfg Config, tel *Telemetry) *sim.ShardedSimulator {
+	shards := cfg.ShardCount()
+	if tel != nil && tel.Tracer != nil {
+		shards = 1
+	}
+	return cfg.newSharded(shards, clusterLookahead)
+}
+
 func init() {
 	register(Experiment{
 		ID:    "E14",
@@ -65,13 +87,13 @@ func fmtVirt(d sim.Duration) string { return fmt.Sprintf("%.3fs", d) }
 // its flag decisions to the audit trail. setup (may be nil) configures
 // the pool — fault injection — before the job starts. With tel == nil
 // this is exactly a bare scheduler run.
-func clusterRunT(tel *Telemetry, name string, sched cluster.Scheduler, tasks []cluster.Task, setup func(*cluster.Pool)) cluster.Report {
-	s := sim.New()
-	p := cluster.NewPool(s, 4, clusterQuantum)
+func clusterRunT(cfg Config, tel *Telemetry, name string, sched cluster.Scheduler, tasks []cluster.Task, setup func(*cluster.Pool)) cluster.Report {
+	ss := shardedCluster(cfg, tel)
+	p := cluster.NewShardedPool(ss, 4, clusterQuantum)
 	if tel != nil {
 		run := tel.nextRun(name)
 		p.SetTracer(tel.Tracer)
-		tel.attachProfile(s, run)
+		tel.attachProfile(ss.Shard(0), run)
 		if da, ok := sched.(cluster.DetectAvoid); ok && tel.Audit != nil {
 			da.Audit = tel.Audit
 			sched = da
@@ -81,7 +103,8 @@ func clusterRunT(tel *Telemetry, name string, sched cluster.Scheduler, tasks []c
 		setup(p)
 	}
 	r := sched.Run(p, tasks)
-	tel.endRun(s)
+	tel.endRun(ss.Shard(0))
+	cfg.observeBarrier(name, ss)
 	return r
 }
 
@@ -93,14 +116,14 @@ func runE14(cfg Config) *Table {
 	tel := cfg.telemetry()
 	t.Telemetry = tel
 	run := func(name string, gc, adaptive bool) (int64, int64) {
-		s := sim.New()
-		d := cluster.NewDHT(s, cluster.DHTParams{
+		ss := shardedCluster(cfg, tel)
+		d := cluster.NewShardedDHT(ss, cluster.DHTParams{
 			Nodes: 4, Replication: 2, OpQuantum: clusterQuantum,
 			Adaptive: adaptive, SampleEvery: 1e-3,
 		})
 		if tel != nil {
 			d.SetTracer(tel.Tracer)
-			tel.attachProfile(s, tel.nextRun(name))
+			tel.attachProfile(d.Sim(), tel.nextRun(name))
 			if tel.Audit != nil && adaptive {
 				d.EnableAudit(tel.Audit)
 			}
@@ -110,7 +133,8 @@ func runE14(cfg Config) *Table {
 			defer cancel()
 		}
 		puts := d.RunLoad(8, dur)
-		tel.endRun(s)
+		tel.endRun(d.Sim())
+		cfg.observeBarrier(name, ss)
 		return puts, d.Hints()
 	}
 	healthy, _ := run("healthy-sync", false, false)
@@ -161,9 +185,9 @@ func runE15(cfg Config) *Table {
 		cluster.DetectAvoid{},
 	}
 	for _, sched := range schedulers {
-		base := clusterRunT(tel, sched.Name()+"-healthy", sched, tasks(), nil).Makespan
+		base := clusterRunT(cfg, tel, sched.Name()+"-healthy", sched, tasks(), nil).Makespan
 		// The hog halves node 0's effective CPU for the whole job.
-		hogged := clusterRunT(tel, sched.Name()+"-hog", sched, tasks(), func(p *cluster.Pool) {
+		hogged := clusterRunT(cfg, tel, sched.Name()+"-hog", sched, tasks(), func(p *cluster.Pool) {
 			p.Workers()[0].SetSpeed(0.5)
 		}).Makespan
 		ratio := hogged / base
@@ -191,9 +215,9 @@ func runE23(cfg Config) *Table {
 		cluster.Reissue{TimeoutFactor: 3, MaxClones: 1},
 	} {
 		// Worker 0 suffers a severe slow-down failure partway into the job.
-		r := clusterRunT(tel, sched.Name(), sched, cluster.UniformTasks(nTasks, units),
+		r := clusterRunT(cfg, tel, sched.Name(), sched, cluster.UniformTasks(nTasks, units),
 			func(p *cluster.Pool) {
-				p.Sim().After(degradeAt, func() { p.Workers()[0].SetSpeed(0.02) })
+				p.SetSpeedAt(0, degradeAt, 0.02)
 			})
 		t.AddRow(r.Scheduler, fmtVirt(r.Makespan),
 			fmt.Sprintf("%.0f", r.WastedUnits), fmt.Sprintf("%d", r.Duplicates))
@@ -217,17 +241,18 @@ func runE29(cfg Config) *Table {
 	tel := cfg.telemetry()
 	t.Telemetry = tel
 	runBSP := func(name string, params cluster.BSPParams, slowSpeed float64) sim.Duration {
-		s := sim.New()
-		p := cluster.NewPool(s, 4, clusterQuantum)
+		ss := shardedCluster(cfg, tel)
+		p := cluster.NewShardedPool(ss, 4, clusterQuantum)
 		if tel != nil {
 			p.SetTracer(tel.Tracer)
-			tel.attachProfile(s, tel.nextRun(name))
+			tel.attachProfile(ss.Shard(0), tel.nextRun(name))
 		}
 		if slowSpeed > 0 {
 			p.Workers()[0].SetSpeed(slowSpeed)
 		}
 		r := cluster.RunBSP(p, params)
-		tel.endRun(s)
+		tel.endRun(ss.Shard(0))
+		cfg.observeBarrier(name, ss)
 		return r.Makespan
 	}
 	for _, elastic := range []bool{false, true} {
@@ -264,17 +289,17 @@ func runE24(cfg Config) *Table {
 	tel := cfg.telemetry()
 	t.Telemetry = tel
 	for _, sched := range cluster.Schedulers() {
-		healthy := clusterRunT(tel, sched.Name()+"-healthy", sched,
+		healthy := clusterRunT(cfg, tel, sched.Name()+"-healthy", sched,
 			cluster.UniformTasks(nTasks, units), nil).Makespan
 
-		static := clusterRunT(tel, sched.Name()+"-static", sched,
+		static := clusterRunT(cfg, tel, sched.Name()+"-static", sched,
 			cluster.UniformTasks(nTasks, units), func(p *cluster.Pool) {
 				p.Workers()[0].SetSpeed(0.25)
 			}).Makespan
 
-		mid := clusterRunT(tel, sched.Name()+"-mid", sched,
+		mid := clusterRunT(cfg, tel, sched.Name()+"-mid", sched,
 			cluster.UniformTasks(nTasks, units), func(p *cluster.Pool) {
-				p.Sim().After(degradeAt, func() { p.Workers()[0].SetSpeed(0.1) })
+				p.SetSpeedAt(0, degradeAt, 0.1)
 			}).Makespan
 
 		t.AddRow(sched.Name(), fmtVirt(healthy), fmtVirt(static), fmtVirt(mid))

@@ -53,6 +53,9 @@ type FleetParams struct {
 	// Ticks is the number of fleet sweeps; faults inject after a third of
 	// them. Zero means the default 12.
 	Ticks int
+	// ObserveBarrier, when non-nil, enables the kernel's barrier cost
+	// counters and receives the profile after the run.
+	ObserveBarrier func(st sim.BarrierStats, perShard []uint64)
 }
 
 // FleetResult is the scenario's virtual-time outcome. Every field is
@@ -109,6 +112,9 @@ func RunFleetScenario(p FleetParams) FleetResult {
 		stutterMult = 0.25
 	)
 	ss := sim.NewSharded(p.Shards, fleetTick)
+	if p.ObserveBarrier != nil {
+		ss.Profile()
+	}
 	root := sim.NewRNG(p.Seed).Fork("e32")
 
 	disks := make([]fleetDisk, p.Disks)
@@ -220,6 +226,9 @@ func RunFleetScenario(p FleetParams) FleetResult {
 	// Each shard's sampler chain fires exactly once per tick; subtract
 	// that bookkeeping so Events is byte-identical at any shard count.
 	res.Events = ss.EventsFired() - uint64(p.Shards)*uint64(p.Ticks)
+	if p.ObserveBarrier != nil {
+		p.ObserveBarrier(*ss.Profile(), ss.PerShardFired())
+	}
 	return res
 }
 
@@ -235,8 +244,16 @@ func runE32(cfg Config) *Table {
 		fleets = []int{1 << 14, 1 << 17, 1 << 20}
 	}
 	for _, n := range fleets {
+		var obs func(sim.BarrierStats, []uint64)
+		if cfg.ObserveBarrier != nil {
+			run := fmt.Sprintf("fleet-%d", n)
+			obs = func(st sim.BarrierStats, perShard []uint64) {
+				cfg.ObserveBarrier(run, st, perShard)
+			}
+		}
 		r := RunFleetScenario(FleetParams{
 			Disks: n, Shards: cfg.ShardCount(), Seed: cfg.Seed,
+			ObserveBarrier: obs,
 		})
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%d/%d", r.DetectedStutter, r.InjectedStutter),

@@ -8,12 +8,26 @@ import (
 	"failstutter/internal/workload"
 )
 
-func transposeSwitch(s *sim.Simulator, ports int) *device.Switch {
-	return device.NewSwitch(s, device.SwitchParams{
+// switchWire is the one-way wire latency of the experiment fabrics, and
+// with it the sharded coordinator's lookahead: the minimum cross-port
+// delay. At 0.1 ms it is ~1% of the smallest message drain time, so the
+// handshake cost stays a rounding term in every measured ratio.
+const switchWire = 1e-4
+
+// shardedNet builds the coordinator the switch experiments run on —
+// always the sharded kernel, at whatever -shards says (1 included), with
+// lookahead derived from the fabric's wire latency.
+func shardedNet(cfg Config) *sim.ShardedSimulator {
+	return cfg.newSharded(cfg.ShardCount(), switchWire)
+}
+
+func transposeSwitch(ss *sim.ShardedSimulator, ports int) *device.Switch {
+	return device.NewShardedSwitch(ss, device.SwitchParams{
 		Ports:       ports,
 		LinkRate:    1e6,
 		DrainRate:   1e6,
 		BufferBytes: 512 * 1024,
+		WireLatency: switchWire,
 	})
 }
 
@@ -56,12 +70,13 @@ func runE10(cfg Config) *Table {
 	}{
 		{0, 1}, {1, 0.5}, {1, 0.33}, {1, 0.1}, {2, 0.33}, {4, 0.33},
 	} {
-		s := sim.New()
-		sw := transposeSwitch(s, ports)
+		ss := shardedNet(cfg)
+		sw := transposeSwitch(ss, ports)
 		for i := 0; i < tc.slow; i++ {
 			sw.ReceiverComposite(i).Set("slow", tc.speed)
 		}
-		bw := workload.TransposeBandwidth(s, sw, msg)
+		bw := workload.TransposeShardedBandwidth(ss, sw, msg)
+		cfg.observeBarrier(fmt.Sprintf("transpose-slow%d-%.2f", tc.slow, tc.speed), ss)
 		if tc.slow == 0 {
 			base = bw
 		}
@@ -90,9 +105,10 @@ func runE11(cfg Config) *Table {
 	// Phase 1: measure per-route progress while all routes push through a
 	// contended port for a fixed window.
 	measure := func(unfair bool) []float64 {
-		s := sim.New()
-		sw := device.NewSwitch(s, device.SwitchParams{
+		ss := shardedNet(cfg)
+		sw := device.NewShardedSwitch(ss, device.SwitchParams{
 			Ports: ports, LinkRate: 1e6, DrainRate: 0.4e6, BufferBytes: 32 * 1024,
+			WireLatency: switchWire,
 		})
 		if unfair {
 			sw.Sender(0).SetWeight(8)
@@ -105,7 +121,12 @@ func runE11(cfg Config) *Table {
 			}
 			sw.Sender(i).Enqueue(batch, nil)
 		}
-		s.RunUntil(10)
+		ss.RunUntil(10)
+		label := "measure-fair"
+		if unfair {
+			label = "measure-unfair"
+		}
+		cfg.observeBarrier(label, ss)
 		rates := make([]float64, 4)
 		for i := range rates {
 			rates[i] = sw.Sender(i).BytesSent() / 10
@@ -190,14 +211,15 @@ func runE12(cfg Config) *Table {
 		"freezes", "transpose time", "added delay")
 	base := 0.0
 	for _, freezes := range []int{0, 1, 2, 3} {
-		s := sim.New()
-		sw := transposeSwitch(s, ports)
+		ss := shardedNet(cfg)
+		sw := transposeSwitch(ss, ports)
 		// Space freezes so each lands while the (stretched) transfer is
 		// still in flight: completion after k freezes is base + 2k.
 		for i := 0; i < freezes; i++ {
 			sw.FreezeAt(0.3+2.1*float64(i), 2.0)
 		}
-		elapsed := workload.Transpose(s, sw, msg)
+		elapsed := workload.TransposeSharded(ss, sw, msg)
+		cfg.observeBarrier(fmt.Sprintf("freeze-%d", freezes), ss)
 		if freezes == 0 {
 			base = elapsed
 		}

@@ -101,7 +101,9 @@ func TestFleetScenarioShardCountInvariant(t *testing.T) {
 // shard axis: the full registry's tables and metrics artifacts must be
 // byte-identical for -shards=1 and -shards=8 at the reference seed.
 // Experiments off the sharded kernel must ignore the setting entirely;
-// E32 must honor it without observable effect.
+// the sharded planes — the fleet (E32), the switch fabric (E10–E12),
+// and the cluster (E14/E15/E23/E24/E29) — must honor it without
+// observable effect.
 func TestRunAllShardCountInvariant(t *testing.T) {
 	run := func(shards int) []*Table {
 		return RunAll(Config{Seed: 42, Quick: true, Metrics: true, Shards: shards}, 4)

@@ -34,10 +34,19 @@ func (b Bench) Median() float64 {
 
 // BenchArtifact is a committed performance baseline: the output of
 // `fstutter bench`, diffed over time by `fstutter perfdiff`.
+//
+// Shards, GoMaxProcs and NumCPU record the parallelism the samples were
+// taken under: wall-clock benchmarks from a sharded run on a 16-core
+// runner are not comparable to a serial run on a laptop, and perfdiff
+// warns when the two sides of a diff disagree. Zero means the artifact
+// predates the fields (unknown), which never warns.
 type BenchArtifact struct {
 	Schema     string  `json:"schema"`
 	Seed       uint64  `json:"seed"`
 	Quick      bool    `json:"quick"`
+	Shards     int     `json:"shards,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	NumCPU     int     `json:"numcpu,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
@@ -53,6 +62,18 @@ func (a *BenchArtifact) WriteJSON(w io.Writer) error {
 	bw.WriteString(strconv.FormatUint(a.Seed, 10))
 	bw.WriteString(`,"quick":`)
 	bw.WriteString(strconv.FormatBool(a.Quick))
+	if a.Shards > 0 {
+		bw.WriteString(`,"shards":`)
+		bw.WriteString(strconv.Itoa(a.Shards))
+	}
+	if a.GoMaxProcs > 0 {
+		bw.WriteString(`,"gomaxprocs":`)
+		bw.WriteString(strconv.Itoa(a.GoMaxProcs))
+	}
+	if a.NumCPU > 0 {
+		bw.WriteString(`,"numcpu":`)
+		bw.WriteString(strconv.Itoa(a.NumCPU))
+	}
 	bw.WriteString(`,"benchmarks":[`)
 	for i, b := range benches {
 		if i > 0 {

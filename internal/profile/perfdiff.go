@@ -61,6 +61,11 @@ type PerfDiffReport struct {
 	Improved    int
 	Declining   int
 	Added       int
+	// Warnings flags artifacts whose parallelism metadata disagrees:
+	// comparing wall-clock medians taken at different shard counts or on
+	// different machines classifies the hardware delta, not the code's.
+	// Warnings never fail the gate.
+	Warnings []string
 }
 
 // Failed reports whether any benchmark regressed (including benchmarks
@@ -82,6 +87,19 @@ func PerfDiff(oldA, newA *BenchArtifact, cfg PerfDiffConfig) *PerfDiffReport {
 		cfg.DeclineFrac = 0.1
 	}
 	rep := &PerfDiffReport{Threshold: cfg.Threshold}
+
+	// Parallelism metadata mismatch: warn, never fail. Zero on either side
+	// means the artifact predates the field — unknown, not different.
+	warnMeta := func(field string, o, n int) {
+		if o > 0 && n > 0 && o != n {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+				"%s differs (old %d, new %d): wall-clock medians compare the run configurations, not just the code",
+				field, o, n))
+		}
+	}
+	warnMeta("shards", oldA.Shards, newA.Shards)
+	warnMeta("GOMAXPROCS", oldA.GoMaxProcs, newA.GoMaxProcs)
+	warnMeta("cpu count", oldA.NumCPU, newA.NumCPU)
 
 	newBy := make(map[string]Bench, len(newA.Benchmarks))
 	for _, b := range newA.Benchmarks {
@@ -228,6 +246,9 @@ func (r *PerfDiffReport) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "perfdiff (threshold %.2f: flag when new throughput < %.0f%% of old)\n",
 		r.Threshold, 100*r.Threshold)
+	for _, warn := range r.Warnings {
+		fmt.Fprintf(bw, "  warning: %s\n", warn)
+	}
 	fmt.Fprintf(bw, "  %-44s %12s %12s %7s  %s\n", "benchmark", "old", "new", "ratio", "status")
 	for _, d := range r.Deltas {
 		ratio := "-"

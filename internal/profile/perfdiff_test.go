@@ -208,3 +208,69 @@ func TestPerfDiffRateUnits(t *testing.T) {
 		t.Fatalf("doubled events/s not improved: %+v", rep.Deltas)
 	}
 }
+
+// TestPerfDiffParallelismWarnings pins the metadata warning contract:
+// both sides non-zero and different warns (and never fails the gate);
+// a zero on either side — an artifact predating the fields — is
+// unknown, not different, and stays silent.
+func TestPerfDiffParallelismWarnings(t *testing.T) {
+	bench := Bench{Name: "BenchmarkKernel", Unit: "ns/op", Samples: samples(1000, 5)}
+	withMeta := func(shards, procs, cpus int) *BenchArtifact {
+		a := art(bench)
+		a.Shards, a.GoMaxProcs, a.NumCPU = shards, procs, cpus
+		return a
+	}
+
+	rep := PerfDiff(withMeta(1, 1, 1), withMeta(8, 16, 16), PerfDiffConfig{})
+	if len(rep.Warnings) != 3 {
+		t.Fatalf("want 3 metadata warnings, got %d: %v", len(rep.Warnings), rep.Warnings)
+	}
+	if rep.Failed() {
+		t.Fatal("metadata mismatch must warn, never fail the gate")
+	}
+	var text strings.Builder
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "warning: shards differs (old 1, new 8)") {
+		t.Fatalf("warning missing from text report:\n%s", text.String())
+	}
+
+	for _, tc := range []struct {
+		name     string
+		old, new *BenchArtifact
+	}{
+		{"equal", withMeta(4, 4, 4), withMeta(4, 4, 4)},
+		{"old-unknown", withMeta(0, 0, 0), withMeta(8, 16, 16)},
+		{"new-unknown", withMeta(8, 16, 16), withMeta(0, 0, 0)},
+	} {
+		if rep := PerfDiff(tc.old, tc.new, PerfDiffConfig{}); len(rep.Warnings) != 0 {
+			t.Errorf("%s: unexpected warnings %v", tc.name, rep.Warnings)
+		}
+	}
+}
+
+// TestBenchArtifactParallelismRoundTrip checks the metadata fields
+// survive the canonical write/read cycle byte-identically.
+func TestBenchArtifactParallelismRoundTrip(t *testing.T) {
+	a := art(Bench{Name: "BenchmarkA", Unit: "ns/op", Samples: []float64{1}})
+	a.Shards, a.GoMaxProcs, a.NumCPU = 8, 16, 32
+	var s1 strings.Builder
+	if err := a.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s1.String(), `"shards":8,"gomaxprocs":16,"numcpu":32`) {
+		t.Fatalf("metadata missing from canonical artifact:\n%s", s1.String())
+	}
+	back, err := ReadBench(strings.NewReader(s1.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 strings.Builder
+	if err := back.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("parallelism metadata round trip not byte-identical:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ShardedSimulator runs one simulation on all cores: components are
@@ -24,14 +25,24 @@ import (
 // then a barrier delivers the buffered cross-shard events and the next
 // window begins.
 //
+// Cross-shard sends take a batched data path built for throughput: each
+// (source, destination) pair owns an outbox lane that the source appends
+// to in send order — already sorted by construction when senders emit at
+// monotone times, with a per-lane sort fallback otherwise. At the barrier
+// the lanes feeding each destination are combined by a k-way streaming
+// merge keyed on (time, source shard, source sequence) and the merged run
+// is pushed into the destination heap as one batch, restoring heap order
+// with a single bounded Floyd pass over the affected ancestor cone rather
+// than a sift per event.
+//
 // Determinism is by construction, at any shard count:
 //
 //   - each shard's events execute in (time, seq) order exactly as a
 //     lone Simulator would execute them;
-//   - cross-shard events are buffered per source shard and delivered at
-//     the barrier in (time, source shard, source seq) order, so the
-//     destination's tie-break sequence numbers never depend on goroutine
-//     scheduling;
+//   - cross-shard events are buffered per (source, destination) lane and
+//     delivered at the barrier in (time, source shard, source seq) order,
+//     so the destination's tie-break sequence numbers never depend on
+//     goroutine scheduling;
 //   - the window horizon sequence depends only on the global event set
 //     (the minimum next-event time is the same however components are
 //     sharded), so barrier-driven logic fires identically at any shard
@@ -42,18 +53,20 @@ import (
 // from its own RNG stream forked by component identity (the repository
 // idiom), and same-timestamp events on *different* components must
 // commute (their relative order is the one ordering that legitimately
-// varies with the partition). The fleet experiments and the determinism
-// suite enforce exactly this.
+// varies with the partition). Planes that cannot make same-time events
+// commute order them explicitly instead: a Mailbox gathers same-time
+// deliveries and replays them sorted by a placement-invariant key.
 type ShardedSimulator struct {
 	shards    []*Simulator
 	lookahead Duration
 
-	// outbox[src] buffers cross-shard events emitted by shard src during
-	// the current window. Each shard appends only to its own buffer, so
-	// the window needs no locks; the barrier drains all of them.
-	outbox [][]crossEvent
-	// merged is the barrier's reusable sort buffer.
-	merged []crossEvent
+	// lanes[src*k+dst] buffers cross-shard events emitted by shard src for
+	// shard dst during the current window. Each shard appends only to its
+	// own row of lanes, so the window needs no locks; the barrier drains
+	// all of them with a per-destination k-way merge.
+	lanes []lane
+	// batch is the barrier's reusable per-destination merge buffer.
+	batch []laneEvent
 	// sendSeq[src] numbers shard src's sends, the final tie-break of the
 	// delivery order.
 	sendSeq []uint64
@@ -68,15 +81,30 @@ type ShardedSimulator struct {
 	// must respect the lookahead bound and barrier-only calls must not
 	// run.
 	inWindow bool
+
+	// prof, when non-nil, accumulates barrier cost statistics.
+	prof *BarrierStats
+
+	// stopped requests that the window loop halt at the next barrier;
+	// pending events stay queued, exactly as Simulator.Stop leaves them.
+	stopped bool
 }
 
-// crossEvent is a buffered cross-shard message: fn will be scheduled on
-// shard dst at time at. Delivery order is (at, src, seq).
-type crossEvent struct {
+// lane is one (source, destination) outbox: events appended in source
+// send order. sorted tracks whether the appended times are nondecreasing
+// — the common case, since senders emit at now+latency with monotone now —
+// letting the barrier skip the sort fallback.
+type lane struct {
+	evs    []laneEvent
+	sorted bool
+}
+
+// laneEvent is a buffered cross-shard message within one lane: fn will be
+// scheduled on the lane's destination at time at; seq is the source
+// shard's send sequence, the final delivery tie-break.
+type laneEvent struct {
 	at  Time
 	seq uint64
-	src int32
-	dst int32
 	fn  func()
 }
 
@@ -96,8 +124,11 @@ func NewSharded(shards int, lookahead Duration) *ShardedSimulator {
 	ss := &ShardedSimulator{
 		shards:    make([]*Simulator, shards),
 		lookahead: lookahead,
-		outbox:    make([][]crossEvent, shards),
+		lanes:     make([]lane, shards*shards),
 		sendSeq:   make([]uint64, shards),
+	}
+	for i := range ss.lanes {
+		ss.lanes[i].sorted = true
 	}
 	for i := range ss.shards {
 		ss.shards[i] = New()
@@ -126,28 +157,35 @@ func (ss *ShardedSimulator) ShardFor(key string) int {
 }
 
 // Send schedules fn on shard dst at absolute time at, from code running on
-// shard src. The event is buffered and delivered at the next barrier in
-// (time, source shard, source sequence) order. Inside a window the time
-// must respect the lookahead bound (at >= source now + lookahead) — that
-// bound is what makes the window safe to run in parallel, so violating it
-// panics loudly rather than corrupting the timeline. Same-shard sends take
-// the same buffered path, keeping delivery semantics uniform.
-func (ss *ShardedSimulator) Send(src, dst int, at Time, fn func()) {
+// shard src. The event is appended to the (src, dst) outbox lane and
+// delivered at the next barrier in (time, source shard, source sequence)
+// order. Inside a window the time must respect the lookahead bound
+// (at >= source now + lookahead) — that bound is what makes the window
+// safe to run in parallel, so violating it panics loudly, naming the
+// offending component, rather than corrupting the timeline. origin
+// identifies the sending component for that diagnostic; it is not part of
+// the delivery order. Same-shard sends take the same buffered path,
+// keeping delivery semantics uniform.
+func (ss *ShardedSimulator) Send(src, dst int, at Time, origin string, fn func()) {
 	s := ss.shards[src]
 	if ss.inWindow {
 		if min := s.now + ss.lookahead; at < min {
-			panic(fmt.Sprintf("sim: cross-shard send at %v violates lookahead bound %v (now %v + lookahead %v)",
-				at, min, s.now, ss.lookahead))
+			panic(fmt.Sprintf("sim: %s: cross-shard send (shard %d -> %d) at %v violates lookahead bound %v (now %v + lookahead %v)",
+				origin, src, dst, at, min, s.now, ss.lookahead))
 		}
 	} else if at < s.now {
-		panic(fmt.Sprintf("sim: cross-shard send at %v before source now %v", at, s.now))
+		panic(fmt.Sprintf("sim: %s: cross-shard send (shard %d -> %d) at %v before source now %v",
+			origin, src, dst, at, s.now))
 	}
 	if math.IsNaN(at) || math.IsInf(at, 0) {
-		panic(fmt.Sprintf("sim: cross-shard send at non-finite time %v", at))
+		panic(fmt.Sprintf("sim: %s: cross-shard send (shard %d -> %d) at non-finite time %v",
+			origin, src, dst, at))
 	}
-	ss.outbox[src] = append(ss.outbox[src], crossEvent{
-		at: at, seq: ss.sendSeq[src], src: int32(src), dst: int32(dst), fn: fn,
-	})
+	ln := &ss.lanes[src*len(ss.shards)+dst]
+	if n := len(ln.evs); n > 0 && at < ln.evs[n-1].at {
+		ln.sorted = false
+	}
+	ln.evs = append(ln.evs, laneEvent{at: at, seq: ss.sendSeq[src], fn: fn})
 	ss.sendSeq[src]++
 }
 
@@ -191,8 +229,8 @@ func (ss *ShardedSimulator) Pending() int {
 	for _, s := range ss.shards {
 		n += len(s.heap)
 	}
-	for _, box := range ss.outbox {
-		n += len(box)
+	for i := range ss.lanes {
+		n += len(ss.lanes[i].evs)
 	}
 	return n
 }
@@ -206,8 +244,8 @@ func (ss *ShardedSimulator) nextTime() Time {
 			t = at
 		}
 	}
-	for _, box := range ss.outbox {
-		for _, ev := range box {
+	for i := range ss.lanes {
+		for _, ev := range ss.lanes[i].evs {
 			if ev.at < t {
 				t = ev.at
 			}
@@ -216,28 +254,60 @@ func (ss *ShardedSimulator) nextTime() Time {
 	return t
 }
 
-// Run executes safe windows until every shard's queue and every mailbox
+// Run executes safe windows until every shard's queue and every lane
 // drains.
 func (ss *ShardedSimulator) Run() { ss.RunUntil(math.Inf(1)) }
+
+// Stop requests that the run halt after the current window's barrier.
+// Only the barrier hook may call it — it is the single-threaded point with
+// authority over the whole fleet — and pending events stay queued, exactly
+// as Simulator.Stop leaves them. The next Run or RunUntil clears the
+// request.
+func (ss *ShardedSimulator) Stop() { ss.stopped = true }
 
 // RunUntil executes all events scheduled at or before limit, window by
 // window, then advances every shard clock to exactly limit (when finite).
 // Events scheduled after limit remain queued, exactly as Simulator.RunUntil
 // leaves them.
 func (ss *ShardedSimulator) RunUntil(limit Time) {
-	for {
+	prof := ss.prof
+	ss.stopped = false
+	for !ss.stopped {
 		t := ss.nextTime()
 		if t > limit || math.IsInf(t, 1) {
 			break
 		}
 		h := t + ss.lookahead
-		ss.runOneWindow(h, limit)
+		var wall time.Time
+		var fired0 uint64
+		if prof != nil {
+			wall = time.Now()
+			fired0 = ss.EventsFired()
+		}
+		active := ss.runOneWindow(h, limit)
+		if prof != nil {
+			mid := time.Now()
+			prof.WindowNanos += mid.Sub(wall).Nanoseconds()
+			prof.Windows++
+			if active <= 1 {
+				prof.SoloWindows++
+			}
+			df := ss.EventsFired() - fired0
+			prof.Fired += df
+			if df > prof.MaxWindowFired {
+				prof.MaxWindowFired = df
+			}
+			wall = mid
+		}
 		ss.deliver()
 		if ss.barrier != nil {
 			ss.barrier(h)
 		}
+		if prof != nil {
+			prof.BarrierNanos += time.Since(wall).Nanoseconds()
+		}
 	}
-	if !math.IsInf(limit, 1) {
+	if !ss.stopped && !math.IsInf(limit, 1) {
 		for _, s := range ss.shards {
 			if s.now < limit {
 				s.now = limit
@@ -249,8 +319,8 @@ func (ss *ShardedSimulator) RunUntil(limit Time) {
 // runOneWindow executes every shard's events in [now, h) ∩ [0, limit] —
 // in parallel when more than one shard has eligible work, inline
 // otherwise, so a single-shard configuration never pays goroutine
-// overhead.
-func (ss *ShardedSimulator) runOneWindow(h, limit Time) {
+// overhead. It returns the number of shards that had eligible work.
+func (ss *ShardedSimulator) runOneWindow(h, limit Time) int {
 	ss.inWindow = true
 	active := 0
 	var only *Simulator
@@ -262,7 +332,7 @@ func (ss *ShardedSimulator) runOneWindow(h, limit Time) {
 	}
 	switch {
 	case active == 0:
-		// Nothing eligible: all pending work is in mailboxes.
+		// Nothing eligible: all pending work is in outbox lanes.
 	case active == 1:
 		only.runWindow(h, limit)
 	default:
@@ -280,46 +350,235 @@ func (ss *ShardedSimulator) runOneWindow(h, limit Time) {
 		wg.Wait()
 	}
 	ss.inWindow = false
+	return active
 }
 
-// deliver merges every outbox, orders the events by (time, source shard,
-// source sequence) and inserts them into their destination shards. Running
-// at the barrier, single-threaded, the destination sequence numbers —
-// and with them every future tie-break — are deterministic.
+// deliver drains every outbox lane into its destination shard. For each
+// destination the k source lanes — each already in (time, seq) order — are
+// combined by a streaming k-way merge keyed on (time, source shard, source
+// seq), and the merged run is batch-pushed into the destination heap. The
+// global delivery order this produces is exactly the old single-sort
+// order: sequence numbers only break ties within one shard's heap, and
+// within each destination the merge emits (time, src, seq) order.
 func (ss *ShardedSimulator) deliver() {
-	ss.merged = ss.merged[:0]
-	for src, box := range ss.outbox {
-		ss.merged = append(ss.merged, box...)
-		// Release the delivered closures promptly.
-		for i := range box {
-			box[i].fn = nil
+	k := len(ss.shards)
+	total := 0
+	for i := range ss.lanes {
+		ln := &ss.lanes[i]
+		total += len(ln.evs)
+		if !ln.sorted {
+			sortLane(ln.evs)
+			ln.sorted = true
 		}
-		ss.outbox[src] = box[:0]
 	}
-	if len(ss.merged) == 0 {
+	if total == 0 {
 		return
 	}
-	sortCrossEvents(ss.merged)
-	for i := range ss.merged {
-		ev := &ss.merged[i]
-		ss.shards[ev.dst].At(ev.at, ev.fn)
-		ev.fn = nil
+	if ss.prof != nil {
+		ss.prof.Delivered += uint64(total)
+	}
+	for dst := 0; dst < k; dst++ {
+		ss.batch = ss.batch[:0]
+		ss.mergeForDst(dst)
+		if len(ss.batch) > 0 {
+			ss.shards[dst].scheduleBatch(ss.batch)
+			for i := range ss.batch {
+				ss.batch[i].fn = nil
+			}
+		}
+	}
+	for i := range ss.lanes {
+		ln := &ss.lanes[i]
+		for j := range ln.evs {
+			ln.evs[j].fn = nil
+		}
+		ln.evs = ln.evs[:0]
 	}
 }
 
-// sortCrossEvents orders by (time, source shard, source sequence) — the
-// delivery tie-break. The key is unique (seq is per source), so an
-// unstable sort is deterministic. Delivery runs once per barrier, off the
-// per-event hot path, so sort.Slice's small bookkeeping cost is fine.
-func sortCrossEvents(evs []crossEvent) {
+// mergeForDst appends destination dst's lanes to ss.batch in (time, source
+// shard, source seq) order. Source count k is small (≤ GOMAXPROCS), so a
+// linear scan of the lane heads beats a tournament tree: each pick is a
+// handful of predictable compares over cache-resident heads.
+func (ss *ShardedSimulator) mergeForDst(dst int) {
+	k := len(ss.shards)
+	// heads[src] indexes the next unconsumed event in lane (src, dst).
+	var headsArr [16]int
+	var heads []int
+	if k <= len(headsArr) {
+		heads = headsArr[:k]
+		for i := range heads {
+			heads[i] = 0
+		}
+	} else {
+		heads = make([]int, k)
+	}
+	for {
+		best := -1
+		var bestAt Time
+		for src := 0; src < k; src++ {
+			evs := ss.lanes[src*k+dst].evs
+			if heads[src] >= len(evs) {
+				continue
+			}
+			at := evs[heads[src]].at
+			// Strict < keeps the lowest source shard on ties: the
+			// (time, src, seq) delivery key.
+			if best < 0 || at < bestAt {
+				best, bestAt = src, at
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ss.batch = append(ss.batch, ss.lanes[best*k+dst].evs[heads[best]])
+		heads[best]++
+	}
+}
+
+// sortLane restores a lane's (time, seq) order — the fallback for the rare
+// sender that emits at non-monotone times within one window. seq is unique
+// within a lane, so the unstable sort is deterministic.
+func sortLane(evs []laneEvent) {
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := &evs[i], &evs[j]
 		if a.at != b.at {
 			return a.at < b.at
 		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
 		return a.seq < b.seq
 	})
+}
+
+// scheduleBatch pushes a merged run of cross-shard events into the shard's
+// heap as one batch: allocate and append every event — assigning sequence
+// numbers in batch order, which is the delivery order — then restore heap
+// order with one bounded Floyd pass over the ancestor cone of the appended
+// region. The pass costs O(batch + log heap) instead of a sift per event,
+// and any valid heap arrangement pops in identical (time, seq) order, so
+// the batch path is byte-equivalent to per-event At calls.
+func (s *Simulator) scheduleBatch(evs []laneEvent) {
+	n0 := len(s.heap)
+	for i := range evs {
+		idx := s.alloc(evs[i].at, evs[i].fn)
+		s.heap = append(s.heap, idx)
+		s.arena[idx].pos = int32(n0 + i)
+	}
+	n := len(s.heap)
+	if n == n0 {
+		return
+	}
+	if n0 == 0 {
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			s.siftDown(i)
+		}
+		return
+	}
+	// Sift down every ancestor of the appended region, deepest level
+	// first: when a node is processed its children's subtrees are already
+	// valid heaps (appended leaves trivially, older nodes by induction).
+	lo, hi := (n0-1)/heapArity, (n-2)/heapArity
+	for {
+		for i := hi; i >= lo; i-- {
+			s.siftDown(i)
+		}
+		if lo == 0 {
+			return
+		}
+		lo, hi = (lo-1)/heapArity, (hi-1)/heapArity
+	}
+}
+
+// BarrierStats accumulates the cost profile of the sharded run: how many
+// safe windows executed, how much work each held, how much of it crossed
+// shards, and — wall-clock, so nondeterministic and excluded from
+// deterministic artifacts — where the time went. Enable with Profile.
+type BarrierStats struct {
+	// Windows is the number of safe windows executed.
+	Windows uint64
+	// Fired is the number of events executed inside windows.
+	Fired uint64
+	// Delivered is the number of cross-shard events delivered at barriers.
+	Delivered uint64
+	// SoloWindows counts windows in which at most one shard had eligible
+	// work — windows that ran inline, with zero parallelism to harvest.
+	SoloWindows uint64
+	// MaxWindowFired is the largest single-window event count.
+	MaxWindowFired uint64
+	// WindowNanos and BarrierNanos split the run's wall-clock between the
+	// parallel window region and the single-threaded barrier (delivery +
+	// barrier hook). Wall-clock: nondeterministic across runs and hosts.
+	WindowNanos  int64
+	BarrierNanos int64
+}
+
+// Profile enables barrier cost accounting (idempotent) and returns the
+// live stats, which accumulate across RunUntil calls. Collection costs a
+// couple of clock reads per window, so it is off by default.
+func (ss *ShardedSimulator) Profile() *BarrierStats {
+	if ss.prof == nil {
+		ss.prof = &BarrierStats{}
+	}
+	return ss.prof
+}
+
+// PerShardFired returns the events executed by each shard so far — the
+// imbalance axis of the barrier profile. Unlike BarrierStats it needs no
+// enabling; the kernel counts fired events regardless.
+func (ss *ShardedSimulator) PerShardFired() []uint64 {
+	out := make([]uint64, len(ss.shards))
+	for i, s := range ss.shards {
+		out[i] = s.fired
+	}
+	return out
+}
+
+// Mailbox orders same-time cross-shard deliveries on one component by a
+// placement-invariant key. Same-time events delivered from different
+// source shards arrive in (source shard, source seq) order — which depends
+// on the partition — so a component that cannot make them commute posts
+// each delivery into its mailbox instead of acting on it directly. The
+// mailbox schedules one drain event at the same instant; because every
+// same-time delivery is batch-inserted at a barrier before the window that
+// executes them, the drain's sequence number exceeds them all, and the
+// drain replays the posts sorted by caller-supplied key. Keys must be
+// unique per instant (the idiom is senderID<<32 | senderSeq).
+type Mailbox struct {
+	s         *Simulator
+	pending   []mailboxItem
+	scheduled bool
+}
+
+type mailboxItem struct {
+	key uint64
+	fn  func()
+}
+
+// NewMailbox builds a mailbox draining on the given shard kernel.
+func NewMailbox(s *Simulator) *Mailbox { return &Mailbox{s: s} }
+
+// Post enqueues fn under key at the current instant; the drain at the end
+// of this instant runs all posts in ascending key order.
+func (m *Mailbox) Post(key uint64, fn func()) {
+	m.pending = append(m.pending, mailboxItem{key: key, fn: fn})
+	if !m.scheduled {
+		m.scheduled = true
+		m.s.At(m.s.now, m.drain)
+	}
+}
+
+// drain replays the pending posts in key order and resets the mailbox.
+func (m *Mailbox) drain() {
+	m.scheduled = false
+	items := m.pending
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	// Detach before running: a post during replay starts a fresh batch
+	// with its own drain, in a fresh buffer.
+	m.pending = nil
+	for i := range items {
+		items[i].fn()
+		items[i].fn = nil
+	}
+	if m.pending == nil {
+		m.pending = items[:0]
+	}
 }

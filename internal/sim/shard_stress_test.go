@@ -82,7 +82,7 @@ func runShardStress(t *testing.T, shards int) (shardStressResult, [][]float64) {
 				at := now + ss.Lookahead() + rng.Float64()
 				crossSent[k] = append(crossSent[k], [2]float64{float64(dst), at})
 				crossCount[k]++
-				ss.Send(shardOf[k], shardOf[dst], at, func() {
+				ss.Send(shardOf[k], shardOf[dst], at, fmt.Sprintf("key%02d", k), func() {
 					observed[dst] = append(observed[dst], ss.Shard(shardOf[dst]).Now())
 				})
 			}

@@ -80,7 +80,7 @@ func TestShardedCrossShardDelivery(t *testing.T) {
 			log = append(log, fmt.Sprintf("hop%d@%g on s%d", n, ss.Shard(src).Now(), src))
 			if n+1 < hops {
 				dst := (n + 1) % 4
-				ss.Send(src, dst, ss.Shard(src).Now()+1, hop(n+1))
+				ss.Send(src, dst, ss.Shard(src).Now()+1, "token", hop(n+1))
 			}
 		}
 	}
@@ -101,11 +101,17 @@ func TestShardedSendLookaheadViolationPanics(t *testing.T) {
 	ss := NewSharded(2, 1)
 	ss.Shard(0).At(5, func() {
 		defer func() {
-			if recover() == nil {
+			r := recover()
+			if r == nil {
 				t.Error("in-window send inside the lookahead bound did not panic")
+				return
+			}
+			// The diagnostic must name the offending component.
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "offender-x") {
+				t.Errorf("lookahead panic %q does not name the origin component", msg)
 			}
 		}()
-		ss.Send(0, 1, 5.5, func() {}) // < now+lookahead = 6
+		ss.Send(0, 1, 5.5, "offender-x", func() {}) // < now+lookahead = 6
 	})
 	ss.Run()
 }
@@ -115,7 +121,7 @@ func TestShardedSetupSendDelivered(t *testing.T) {
 	fired := 0.0
 	// A send buffered before the run starts (setup, not in a window) only
 	// needs to be in the source's future.
-	ss.Send(0, 1, 0.25, func() { fired = ss.Shard(1).Now() })
+	ss.Send(0, 1, 0.25, "setup", func() { fired = ss.Shard(1).Now() })
 	ss.Run()
 	if fired != 0.25 {
 		t.Fatalf("setup send fired at %v, want 0.25", fired)
