@@ -9,6 +9,7 @@
 //	fstutter e7                   # bare id: same as `run E07`
 //	fstutter all                  # run the full suite
 //	fstutter profile E05          # critical-path + SLO + barrier-cost artifacts
+//	fstutter oracle E01 E23       # predicted-vs-simulated conformance report
 //	fstutter bench -out B.json    # wall-clock benchmark artifact
 //	fstutter perfdiff old new     # diff two bench artifacts, gate on regress
 //
@@ -34,7 +35,8 @@
 //	-slo SECONDS      `profile` SLO latency threshold (0 = auto: 5x median)
 //	-samples N        wall-clock samples per benchmark for `bench` (default 5)
 //	-threshold R      `perfdiff` rate-ratio threshold (default 0.8)
-//	-gate             `perfdiff` exits 1 on regression instead of warning
+//	-gate             `perfdiff` exits 1 on regression, `oracle` exits 1 on
+//	                  out-of-band rows, instead of warning
 package main
 
 import (
@@ -125,6 +127,17 @@ func main() {
 		}
 		cmdProfile(cfg, resolveIDs(operands), dir, *sloThresh, *topN)
 		return
+	case "oracle":
+		if len(operands) == 0 {
+			fmt.Fprintln(os.Stderr, "fstutter oracle: at least one experiment id required")
+			os.Exit(2)
+		}
+		dir := *out
+		if dir == "" {
+			dir = "oracle"
+		}
+		cmdOracle(cfg, resolveIDs(operands), dir, *gate, sink)
+		return
 	case "perfdiff":
 		if len(operands) != 2 {
 			fmt.Fprintln(os.Stderr, "fstutter perfdiff: usage: fstutter perfdiff <old.json> <new.json> [-threshold R] [-gate]")
@@ -161,14 +174,16 @@ func main() {
 }
 
 // resolveIDs normalizes each operand to a canonical experiment id,
-// exiting on the first unknown one.
+// exiting 2 (a usage error, like any other bad operand) on the first
+// unknown one, listing the valid ids.
 func resolveIDs(operands []string) []string {
 	ids := make([]string, len(operands))
 	for i, raw := range operands {
 		id, ok := normalizeID(raw)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", raw)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "fstutter: unknown experiment %q (valid: %s)\n",
+				raw, strings.Join(experiments.IDs(), " "))
+			os.Exit(2)
 		}
 		ids[i] = id
 	}
@@ -314,6 +329,7 @@ usage:
   fstutter [flags] <id>         (bare id: run one experiment, e.g. 'fstutter e7')
   fstutter [flags] all
   fstutter [flags] profile <id>...
+  fstutter [flags] oracle <id>...
   fstutter [flags] bench
   fstutter [flags] perfdiff <old.json> <new.json>
 
@@ -332,11 +348,13 @@ flags (before or after the subcommand):
   -out PATH         'profile' artifact directory (default profiles/):
                     <ID>.profile.json + .folded.txt + .critpath.txt + .slo.json
                     + .barrier.json (sharded experiments: barrier cost profile);
+                    'oracle' artifact directory (default oracle/): <ID>.oracle.json;
                     or 'bench' artifact file (default stdout)
   -top N            rows in the 'profile' hot-frame table (default 15)
   -slo SECONDS      'profile' SLO latency threshold (0 = auto: 5x median)
   -samples N        wall-clock samples per benchmark for 'bench' (default 5)
   -threshold R      'perfdiff' throughput-ratio threshold (default 0.8)
-  -gate             'perfdiff' exits 1 on regression instead of warning
+  -gate             'perfdiff' exits 1 on regression, 'oracle' exits 1 on
+                    out-of-band conformance rows, instead of warning
 `)
 }

@@ -23,6 +23,7 @@ import (
 // byte-deterministic at a fixed seed and shard count.
 func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold float64, topN int) {
 	cfg.Profile = true
+	meta := runMeta(cfg)
 	for _, id := range ids {
 		e, err := experiments.Get(id)
 		if err != nil {
@@ -33,6 +34,7 @@ func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold f
 		if tel != nil && tel.Tracer != nil {
 			rep := profile.Analyze(tel.Tracer, tel.Metrics)
 			slo := profile.AnalyzeSLO(tel.Tracer, profile.SLOConfig{Threshold: sloThreshold})
+			rep.Meta, slo.Meta = meta, meta
 
 			fmt.Printf("== %s: profile ==\n", tbl.ID)
 			if err := rep.WriteText(os.Stdout, topN); err != nil {
@@ -55,6 +57,7 @@ func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold f
 
 		brep := barrierPass(cfg, e)
 		if brep != nil {
+			brep.Meta = meta
 			if err := brep.WriteText(os.Stdout); err != nil {
 				fail(err)
 			}
@@ -63,6 +66,17 @@ func cmdProfile(cfg experiments.Config, ids []string, dir string, sloThreshold f
 		if (tel == nil || tel.Tracer == nil) && brep == nil {
 			fail(fmt.Errorf("experiment %s produced no telemetry to profile", id))
 		}
+	}
+}
+
+// runMeta builds the artifact header stamp for the current invocation:
+// the run identity plus the parallelism it executes under.
+func runMeta(cfg experiments.Config) profile.RunMeta {
+	return profile.RunMeta{
+		Seed: cfg.Seed, Quick: cfg.Quick,
+		Shards:     cfg.ShardCount(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 }
 

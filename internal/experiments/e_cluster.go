@@ -192,6 +192,8 @@ func runE15(cfg Config) *Table {
 		}).Makespan
 		ratio := hogged / base
 		t.AddRow(sched.Name(), fmtVirt(base), fmtVirt(hogged), fmt.Sprintf("%.2fx", ratio))
+		t.SetMetric("healthy_ms_"+sched.Name(), base*1e3)
+		t.SetMetric("hog_ms_"+sched.Name(), hogged*1e3)
 		t.SetMetric("slowdown_"+sched.Name(), ratio)
 	}
 	t.AddNote("%d records in %d partitions, sized via the n log n sort cost model; hog implemented as a 50%% CPU share", records, partitions)
@@ -273,6 +275,8 @@ func runE29(cfg Config) *Table {
 		if elastic {
 			key = "elastic"
 		}
+		t.SetMetric("healthy_ms_"+key, healthy*1e3)
+		t.SetMetric("slow_ms_"+key, slow*1e3)
 		t.SetMetric("slowdown_"+key, ratio)
 	}
 	t.AddNote("the barrier is inherent to the algorithm; the design choice is whether work within a round is fixed or pulled")

@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"failstutter/internal/experiments"
+)
+
+// analyzeQuick runs one covered experiment at quick scale with the
+// profiling plane on (the configuration `fstutter oracle` uses) and
+// returns its conformance report.
+func analyzeQuick(t *testing.T, id string, seed uint64, shards int) *Report {
+	t.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: seed, Quick: true, Profile: true, Shards: shards}
+	tbl := e.Run(cfg)
+	in := Input{Table: tbl, Seed: seed, Quick: true}
+	if tbl.Telemetry != nil {
+		in.Metrics = tbl.Telemetry.Metrics
+	}
+	rep, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// Every covered experiment must conform to its analytic model at the
+// reference seeds: this is the repo-level guarantee that the simulation
+// stays anchored to the physics it claims to reproduce.
+func TestConformanceAtReferenceSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 1337} {
+		for _, id := range Covered() {
+			rep := analyzeQuick(t, id, seed, 0)
+			if len(rep.Rows) == 0 {
+				t.Errorf("seed %d %s: no conformance rows", seed, id)
+			}
+			for _, row := range rep.Rows {
+				if !row.Pass() {
+					t.Errorf("seed %d %s: %s/%s out of band: predicted %g observed %g residual %+g (%s tol %g)",
+						seed, id, row.Model, row.Quantity, row.Predicted, row.Observed,
+						row.Residual(), row.Bound, row.Tol)
+				}
+			}
+		}
+	}
+}
+
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The oracle artifact must be byte-identical across repeated runs, shard
+// counts, and concurrent executions: the reports read only virtual-time
+// quantities, so nothing about host parallelism may leak into them.
+func TestArtifactDeterminism(t *testing.T) {
+	ids := []string{"E05", "E23", "E29"}
+	for _, seed := range []uint64{1, 42, 1337} {
+		for _, id := range ids {
+			want := reportBytes(t, analyzeQuick(t, id, seed, 0))
+			// Repeated runs.
+			if got := reportBytes(t, analyzeQuick(t, id, seed, 0)); !bytes.Equal(got, want) {
+				t.Errorf("seed %d %s: repeated run artifact differs", seed, id)
+			}
+			// Shard counts.
+			for _, shards := range []int{1, 2, 8} {
+				if got := reportBytes(t, analyzeQuick(t, id, seed, shards)); !bytes.Equal(got, want) {
+					t.Errorf("seed %d %s: artifact differs at %d shards", seed, id, shards)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent experiment runs (the `all -parallel N` configuration) must
+// not perturb each other's oracle reports.
+func TestArtifactDeterminismUnderConcurrency(t *testing.T) {
+	ids := []string{"E05", "E23", "E29"}
+	want := map[string][]byte{}
+	for _, id := range ids {
+		want[id] = reportBytes(t, analyzeQuick(t, id, 42, 0))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(ids)*4)
+	for round := 0; round < 4; round++ {
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string, round int) {
+				defer wg.Done()
+				e, err := experiments.Get(id)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				cfg := experiments.Config{Seed: 42, Quick: true, Profile: true}
+				tbl := e.Run(cfg)
+				in := Input{Table: tbl, Seed: 42, Quick: true}
+				if tbl.Telemetry != nil {
+					in.Metrics = tbl.Telemetry.Metrics
+				}
+				rep, err := Analyze(in)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var buf bytes.Buffer
+				if err := rep.WriteJSON(&buf); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), want[id]) {
+					errs <- fmt.Sprintf("%s round %d: concurrent artifact differs", id, round)
+				}
+			}(id, round)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestAnalyzeRejectsUncovered(t *testing.T) {
+	tbl := experiments.NewTable("E99", "uncovered", "n/a", "col")
+	if _, err := Analyze(Input{Table: tbl}); err == nil {
+		t.Fatal("Analyze accepted an uncovered experiment")
+	}
+	if _, err := Analyze(Input{}); err == nil {
+		t.Fatal("Analyze accepted a nil table")
+	}
+}

@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"testing"
+
+	"failstutter/internal/experiments"
+	"failstutter/internal/raid"
+	"failstutter/internal/sim"
+)
+
+// TestOracleDivergence proves the oracle actually bites: re-run the E01
+// scenario with the slow pair's service rate perturbed to twice what the
+// model assumes (0.5 MB/s instead of 0.25 MB/s) and feed the result
+// through the E01 predictor. The analytic makespan no longer matches and
+// the conformance report must flag it — this is the failure CI's gating
+// leg exists to catch.
+func TestOracleDivergence(t *testing.T) {
+	s := sim.New()
+	perturbed := testArray(s, []float64{1e6, 1e6, 1e6, 2 * mRateSmall})
+	res, err := raid.WriteAndMeasure(s, perturbed, raid.StaticEqual{}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := experiments.NewTable("E01", "perturbed scenario 1", "divergence injection", "design")
+	tbl.SetMetric("throughput", res.Throughput)
+
+	rep, err := Analyze(Input{Table: tbl, Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures() == 0 {
+		t.Fatal("doubled service rate produced a clean conformance report")
+	}
+	flagged := false
+	for _, row := range rep.Rows {
+		if row.Quantity == "throughput" && row.Bound == TwoSided && !row.Pass() {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("the two-sided throughput row did not flag the perturbation")
+	}
+
+	// The unperturbed run stays clean: the flag above is signal, not a
+	// hair-trigger tolerance.
+	s2 := sim.New()
+	baseline := testArray(s2, []float64{1e6, 1e6, 1e6, mRateSmall})
+	res2, err := raid.WriteAndMeasure(s2, baseline, raid.StaticEqual{}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := experiments.NewTable("E01", "baseline scenario 1", "control", "design")
+	tbl2.SetMetric("throughput", res2.Throughput)
+	rep2, err := Analyze(Input{Table: tbl2, Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep2.Rows {
+		if row.Quantity == "throughput" && !row.Pass() {
+			t.Fatalf("baseline run flagged: %s/%s residual %+g", row.Model, row.Quantity, row.Residual())
+		}
+	}
+}

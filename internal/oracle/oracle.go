@@ -1,0 +1,121 @@
+// Package oracle checks the simulator against closed-form performance
+// models: for each covered experiment it derives analytic predictions —
+// fork-join stripe bounds for the RAID scenarios (the paper's N*b claim
+// as an executable inequality), the exact zone/seek/remap disk service
+// model, Dwork-Halpern-Waarts total-work/waste bounds for the
+// Shasha-Turek scheduler zoo, BSP superstep bounds, DHT op-capacity
+// bounds, and deterministic-drain (M/D/1-style) station occupancy
+// predictions checked against the sim.StationProbe profiles — and
+// compares them to the simulated observations row by row, with residuals
+// and tolerance bands.
+//
+// Byte-determinism tests compare a run only to itself; the oracle plane
+// is the complementary check that results stay anchored to the physics
+// the experiments claim to reproduce, so silent behavioural drift fails
+// loudly instead of being reproduced faithfully.
+//
+// Everything here is offline: predictors read the finished experiment's
+// table metrics and metrics registry (the station occupancy series the
+// profiling plane already samples), never hooking the hot path, so the
+// plane costs nothing when off.
+package oracle
+
+import "math"
+
+// Bound is the direction a conformance row is judged in.
+type Bound int
+
+const (
+	// TwoSided requires |residual| <= Tol: the prediction is a point
+	// estimate with a symmetric band.
+	TwoSided Bound = iota
+	// Upper requires observed <= predicted*(1+Tol): the prediction is an
+	// analytic ceiling the simulation must not beat.
+	Upper
+	// Lower requires observed >= predicted*(1-Tol): the prediction is an
+	// analytic floor the simulation must reach.
+	Lower
+)
+
+// String names the bound direction for artifacts and tables.
+func (b Bound) String() string {
+	switch b {
+	case Upper:
+		return "upper"
+	case Lower:
+		return "lower"
+	default:
+		return "two-sided"
+	}
+}
+
+// Row is one predicted-vs-observed conformance check.
+type Row struct {
+	// Model names the analytic family the prediction comes from
+	// ("fork-join", "disk-model", "dhw", "bsp", "station-occupancy", ...).
+	Model string
+	// Quantity names what is compared, normally a table metric key.
+	Quantity string
+	// Predicted is the analytic value; Observed the simulated one.
+	Predicted float64
+	Observed  float64
+	// Bound is the judgement direction; Tol the tolerance band, relative
+	// to Predicted (absolute when Predicted is zero).
+	Bound Bound
+	Tol   float64
+}
+
+// Residual is the relative deviation of observed from predicted:
+// observed/predicted - 1, or the absolute difference when the prediction
+// is zero (a zero prediction is a "must not happen at all" bound).
+func (r Row) Residual() float64 {
+	if r.Predicted == 0 {
+		return r.Observed
+	}
+	return r.Observed/r.Predicted - 1
+}
+
+// Pass reports whether the observation is inside the tolerance band in
+// the row's bound direction.
+func (r Row) Pass() bool {
+	res := r.Residual()
+	if math.IsNaN(res) {
+		return false
+	}
+	switch r.Bound {
+	case Upper:
+		return res <= r.Tol
+	case Lower:
+		return res >= -r.Tol
+	default:
+		return math.Abs(res) <= r.Tol
+	}
+}
+
+// Report is one experiment's conformance record.
+type Report struct {
+	Experiment string
+	Seed       uint64
+	Quick      bool
+	Rows       []Row
+}
+
+// add appends a conformance row.
+func (r *Report) add(model, quantity string, predicted, observed float64, bound Bound, tol float64) {
+	r.Rows = append(r.Rows, Row{
+		Model: model, Quantity: quantity,
+		Predicted: predicted, Observed: observed,
+		Bound: bound, Tol: tol,
+	})
+}
+
+// Failures counts rows whose observation fell outside its band.
+func (r *Report) Failures() int {
+	n := 0
+	for _, row := range r.Rows {
+		if !row.Pass() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package oracle
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRowResidualAndPass(t *testing.T) {
+	cases := []struct {
+		name string
+		row  Row
+		res  float64
+		pass bool
+	}{
+		{"two-sided inside", Row{Predicted: 100, Observed: 101, Bound: TwoSided, Tol: 0.02}, 0.01, true},
+		{"two-sided outside", Row{Predicted: 100, Observed: 103, Bound: TwoSided, Tol: 0.02}, 0.03, false},
+		{"upper ok below", Row{Predicted: 100, Observed: 90, Bound: Upper, Tol: 0}, -0.1, true},
+		{"upper exact", Row{Predicted: 100, Observed: 100, Bound: Upper, Tol: 0}, 0, true},
+		{"upper beaten", Row{Predicted: 100, Observed: 100.5, Bound: Upper, Tol: 0}, 0.005, false},
+		{"lower ok above", Row{Predicted: 100, Observed: 110, Bound: Lower, Tol: 0}, 0.1, true},
+		{"lower missed", Row{Predicted: 100, Observed: 99, Bound: Lower, Tol: 0}, -0.01, false},
+		{"zero prediction holds", Row{Predicted: 0, Observed: 0, Bound: Upper, Tol: 0}, 0, true},
+		{"zero prediction violated", Row{Predicted: 0, Observed: 3, Bound: Upper, Tol: 0}, 3, false},
+	}
+	for _, c := range cases {
+		if got := c.row.Residual(); math.Abs(got-c.res) > 1e-12 {
+			t.Errorf("%s: residual %g, want %g", c.name, got, c.res)
+		}
+		if got := c.row.Pass(); got != c.pass {
+			t.Errorf("%s: pass %v, want %v", c.name, got, c.pass)
+		}
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	// A NaN observation (the missing-metric sentinel) must never pass, in
+	// any bound direction.
+	for _, b := range []Bound{TwoSided, Upper, Lower} {
+		row := Row{Predicted: 1, Observed: math.NaN(), Bound: b, Tol: 10}
+		if row.Pass() {
+			t.Errorf("NaN observation passed under %s bound", b)
+		}
+	}
+}
+
+func TestReportFailures(t *testing.T) {
+	r := &Report{Experiment: "E01"}
+	r.add("m", "ok", 1, 1, TwoSided, 0.01)
+	r.add("m", "bad", 1, 2, TwoSided, 0.01)
+	if got := r.Failures(); got != 1 {
+		t.Fatalf("Failures() = %d, want 1", got)
+	}
+}
+
+func TestWriteJSONDeterministicAndNaNSafe(t *testing.T) {
+	r := &Report{Experiment: "E99", Seed: 42, Quick: true}
+	r.add("m", "a", 1.5, 1.5000001, TwoSided, 0.01)
+	r.add("m", "b", 2, math.NaN(), Upper, 0)
+	var one, two bytes.Buffer
+	if err := r.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("repeated WriteJSON calls differ")
+	}
+	s := one.String()
+	if !strings.Contains(s, `"schema":"fstutter-oracle/1"`) {
+		t.Errorf("missing schema tag in %q", s)
+	}
+	if !strings.Contains(s, `"observed":null`) {
+		t.Errorf("NaN observation not exported as null in %q", s)
+	}
+	if !strings.Contains(s, `"failures":1`) {
+		t.Errorf("failure count wrong in %q", s)
+	}
+}
+
+func TestCoveredMatchesPredictors(t *testing.T) {
+	if len(coveredOrder) != len(predictors) {
+		t.Fatalf("coveredOrder has %d ids, predictors %d", len(coveredOrder), len(predictors))
+	}
+	for _, id := range coveredOrder {
+		if !Covers(id) {
+			t.Errorf("covered id %s has no predictor", id)
+		}
+	}
+	if Covers("E99") {
+		t.Error("Covers(E99) = true")
+	}
+}

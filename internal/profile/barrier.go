@@ -97,7 +97,11 @@ func (r *BarrierRun) BarrierFrac() float64 {
 // cost, and was there parallelism to pay for it?".
 type BarrierReport struct {
 	Experiment string
-	Runs       []BarrierRun
+	// Meta stamps the run identity (seed, scale, parallelism) into the
+	// artifact header; the zero value writes seed 0 and omits the
+	// parallelism fields.
+	Meta RunMeta
+	Runs []BarrierRun
 }
 
 // WriteJSON writes the deterministic fields in canonical form — runs in
@@ -107,6 +111,7 @@ func (r *BarrierReport) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"schema":`)
 	jstr(bw, BarrierSchema)
+	r.Meta.writeHeader(bw)
 	bw.WriteString(`,"experiment":`)
 	jstr(bw, r.Experiment)
 	bw.WriteString(`,"runs":[`)

@@ -27,6 +27,43 @@ func jint(bw *bufio.Writer, v int64) {
 	bw.WriteString(strconv.FormatInt(v, 10))
 }
 
+// RunMeta identifies the run an artifact was derived from: the seed and
+// workload scale that determine its virtual-time content, plus the
+// parallelism (shard count, GOMAXPROCS, CPU count) it executed under —
+// stamped into every artifact header the way fstutter-bench/1 already
+// records them. The parallelism fields are omitted when zero, so readers
+// of artifacts that predate the stamp (or of artifacts from contexts
+// without a resolved shard count) see them as unknown rather than wrong.
+type RunMeta struct {
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Shards     int    `json:"shards,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"numcpu,omitempty"`
+}
+
+// writeHeader emits the meta fields after a schema tag: seed and quick
+// always, the parallelism triple only when known (non-zero), matching the
+// fstutter-bench/1 convention.
+func (m RunMeta) writeHeader(bw *bufio.Writer) {
+	bw.WriteString(`,"seed":`)
+	bw.WriteString(strconv.FormatUint(m.Seed, 10))
+	bw.WriteString(`,"quick":`)
+	bw.WriteString(strconv.FormatBool(m.Quick))
+	if m.Shards > 0 {
+		bw.WriteString(`,"shards":`)
+		bw.WriteString(strconv.Itoa(m.Shards))
+	}
+	if m.GoMaxProcs > 0 {
+		bw.WriteString(`,"gomaxprocs":`)
+		bw.WriteString(strconv.Itoa(m.GoMaxProcs))
+	}
+	if m.NumCPU > 0 {
+		bw.WriteString(`,"numcpu":`)
+		bw.WriteString(strconv.Itoa(m.NumCPU))
+	}
+}
+
 // jhist writes a histogram summary object, or null for a nil histogram.
 func jhist(bw *bufio.Writer, h *trace.Histogram) {
 	if h == nil {
@@ -51,7 +88,9 @@ func jhist(bw *bufio.Writer, h *trace.Histogram) {
 // WriteJSON dumps the full report as byte-deterministic JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString(`{"schema":"fstutter-profile/1","window":{"start":`)
+	bw.WriteString(`{"schema":"fstutter-profile/1"`)
+	r.Meta.writeHeader(bw)
+	bw.WriteString(`,"window":{"start":`)
 	jnum(bw, r.Start)
 	bw.WriteString(`,"end":`)
 	jnum(bw, r.End)
@@ -152,7 +191,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // WriteJSON dumps the availability analysis as byte-deterministic JSON.
 func (r *SLOReport) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString(`{"schema":"fstutter-slo/1","threshold":`)
+	bw.WriteString(`{"schema":"fstutter-slo/1"`)
+	r.Meta.writeHeader(bw)
+	bw.WriteString(`,"threshold":`)
 	jnum(bw, r.Threshold)
 	bw.WriteString(`,"auto":`)
 	bw.WriteString(strconv.FormatBool(r.Auto))

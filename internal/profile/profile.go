@@ -18,6 +18,10 @@ type PathShare struct {
 
 // Report is the full profiling analysis of one experiment trace.
 type Report struct {
+	// Meta stamps the run identity (seed, scale, parallelism) into the
+	// artifact header; the zero value writes seed 0 and omits the
+	// parallelism fields.
+	Meta RunMeta
 	// Start/End bound the trace window; Makespan is their difference.
 	Start, End, Makespan float64
 	// Segments is the critical path in timeline order: every instant of

@@ -49,6 +49,10 @@ type SLOScenario struct {
 
 // SLOReport is the experiment-level availability analysis.
 type SLOReport struct {
+	// Meta stamps the run identity (seed, scale, parallelism) into the
+	// artifact header; the zero value writes seed 0 and omits the
+	// parallelism fields.
+	Meta         RunMeta
 	Threshold    float64
 	Auto         bool // Threshold was derived from the data
 	Category     string

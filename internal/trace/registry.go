@@ -25,6 +25,7 @@ const (
 	kindHistogram
 	kindSeries
 	kindMeter
+	kindOracle
 )
 
 func (k metricKind) String() string {
@@ -35,6 +36,8 @@ func (k metricKind) String() string {
 		return "histogram"
 	case kindSeries:
 		return "series"
+	case kindOracle:
+		return "oracle"
 	default:
 		return "meter"
 	}
@@ -50,7 +53,36 @@ type entry struct {
 	h *Histogram
 	s *Series
 	m *AvailabilityMeter
+	o *OracleStat
 }
+
+// OracleStat is one predicted-vs-observed conformance result: an analytic
+// prediction, the simulated observation, their relative residual, and the
+// tolerance band the residual was judged against. The oracle plane
+// records one per conformance row so the registry's CSV/JSON dumps carry
+// the full predicted-vs-simulated record next to the raw metrics.
+type OracleStat struct {
+	predicted, observed, residual, band float64
+}
+
+// Set records the conformance result. residual is the relative residual
+// (observed/predicted - 1, or observed - predicted when the prediction is
+// zero) and band is the tolerance it was judged against.
+func (o *OracleStat) Set(predicted, observed, residual, band float64) {
+	o.predicted, o.observed, o.residual, o.band = predicted, observed, residual, band
+}
+
+// Predicted returns the analytic prediction.
+func (o *OracleStat) Predicted() float64 { return o.predicted }
+
+// Observed returns the simulated observation.
+func (o *OracleStat) Observed() float64 { return o.observed }
+
+// Residual returns the recorded residual.
+func (o *OracleStat) Residual() float64 { return o.residual }
+
+// Band returns the tolerance band.
+func (o *OracleStat) Band() float64 { return o.band }
 
 // Registry is a named, labeled metrics registry. Experiments register
 // counters, histograms, series and availability meters against it; the
@@ -163,6 +195,20 @@ func (r *Registry) Meter(name string, threshold float64, labels ...Label) *Avail
 		e.m = NewAvailabilityMeter(threshold)
 	}
 	return e.m
+}
+
+// Oracle returns the oracle conformance stat registered under name+labels,
+// creating it on first use. A nil registry returns a fresh unregistered
+// stat.
+func (r *Registry) Oracle(name string, labels ...Label) *OracleStat {
+	if r == nil {
+		return &OracleStat{}
+	}
+	e := r.lookup(kindOracle, name, labels)
+	if e.o == nil {
+		e.o = &OracleStat{}
+	}
+	return e.o
 }
 
 // Len returns the number of registered instruments.
@@ -302,6 +348,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		bw.WriteString(`,"latency_p99":`)
 		writeJSONNum(bw, m.Latency().Quantile(0.99))
 	})
+	bw.WriteString(",\n")
+	writeGroup("oracles", kindOracle, func(e *entry) {
+		o := e.o
+		bw.WriteString(`,"predicted":`)
+		writeJSONNum(bw, o.Predicted())
+		bw.WriteString(`,"observed":`)
+		writeJSONNum(bw, o.Observed())
+		bw.WriteString(`,"residual":`)
+		writeJSONNum(bw, o.Residual())
+		bw.WriteString(`,"band":`)
+		writeJSONNum(bw, o.Band())
+	})
 	bw.WriteString("}\n")
 	return bw.Flush()
 }
@@ -363,6 +421,12 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 			row(e, "availability", "", num(m.Availability()))
 			row(e, "latency_mean", "", num(m.Latency().Mean()))
 			row(e, "latency_p99", "", num(m.Latency().Quantile(0.99)))
+		case kindOracle:
+			o := e.o
+			row(e, "predicted", "", num(o.Predicted()))
+			row(e, "observed", "", num(o.Observed()))
+			row(e, "residual", "", num(o.Residual()))
+			row(e, "band", "", num(o.Band()))
 		}
 	}
 	return bw.Flush()
