@@ -102,6 +102,8 @@ func barrierPass(cfg experiments.Config, e experiments.Experiment) *profile.Barr
 			PerShardFired:  perShard,
 			WindowNanos:    st.WindowNanos,
 			BarrierNanos:   st.BarrierNanos,
+			DeliverNanos:   st.DeliverNanos,
+			SweepNanos:     st.SweepNanos,
 		})
 	}
 	e.Run(cfg)
@@ -159,6 +161,15 @@ var benchSuites = []struct {
 // run: the datacenter configuration the sharded kernel exists for.
 const megaFleetDisks = 1 << 20
 
+// resolveWorkers maps the SweepWorkers zero default to its effective
+// value for display.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // cmdBench measures each target experiment samples times with the
 // testing package's benchmark driver and writes a canonical benchmark
 // artifact to outPath (stdout when empty). Unlike every other artifact,
@@ -173,11 +184,16 @@ const megaFleetDisks = 1 << 20
 // -samples.
 func cmdBench(cfg experiments.Config, samples int, outPath string) {
 	cfg.Quick = true
+	sweepWorkers := cfg.SweepWorkers
+	if sweepWorkers <= 0 {
+		sweepWorkers = runtime.GOMAXPROCS(0)
+	}
 	art := &profile.BenchArtifact{
 		Schema: profile.BenchSchema, Seed: cfg.Seed, Quick: true,
-		Shards:     cfg.ShardCount(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		Shards:       cfg.ShardCount(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		SweepWorkers: sweepWorkers,
 	}
 	for _, id := range benchTargets {
 		e, err := experiments.Get(id)
@@ -227,22 +243,39 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 	if fleetSamples > 2 {
 		fleetSamples = 2
 	}
+	type fleetConfig struct {
+		name      string
+		shards    int
+		workers   int
+		rebalance bool
+		samples   int
+	}
+	configs := []fleetConfig{
+		// The headline pair: fully serial (one shard, one sweep worker)
+		// versus the configured parallelism with load-balanced placement.
+		{"fleet/1M/serial", 1, 1, false, fleetSamples},
+		{"fleet/1M/sharded", cfg.ShardCount(), cfg.SweepWorkers, true, fleetSamples},
+	}
+	// The sweep-worker scaling axis: same sharded kernel, barrier pool
+	// doubling from 1 to GOMAXPROCS. One sample each — the axis maps the
+	// scaling curve, it is not a regression baseline.
+	for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+		configs = append(configs, fleetConfig{
+			name:   fmt.Sprintf("fleet/1M/sharded/w=%d", w),
+			shards: cfg.ShardCount(), workers: w, rebalance: true, samples: 1,
+		})
+	}
 	medians := map[string]float64{}
-	for _, c := range []struct {
-		name   string
-		shards int
-	}{
-		{"fleet/1M/serial", 1},
-		{"fleet/1M/sharded", cfg.ShardCount()},
-	} {
+	for _, c := range configs {
 		b := profile.Bench{Name: c.name, Unit: "ns/op"}
 		rates := profile.Bench{Name: c.name + "/events", Unit: "events/s"}
-		for i := 0; i < fleetSamples; i++ {
+		for i := 0; i < c.samples; i++ {
 			var events uint64
 			res := testing.Benchmark(func(tb *testing.B) {
 				for n := 0; n < tb.N; n++ {
 					r := experiments.RunFleetScenario(experiments.FleetParams{
 						Disks: megaFleetDisks, Shards: c.shards, Seed: cfg.Seed,
+						SweepWorkers: c.workers, Rebalance: c.rebalance,
 					})
 					events = r.Events
 				}
@@ -251,8 +284,8 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 			b.Samples = append(b.Samples, ns)
 			rates.Samples = append(rates.Samples, float64(events)/(ns/1e9))
 		}
-		fmt.Fprintf(os.Stderr, "bench %-16s (%d disks, %d shards) median %.4g ns/run, %.3g events/sec\n",
-			b.Name, megaFleetDisks, c.shards, b.Median(), rates.Median())
+		fmt.Fprintf(os.Stderr, "bench %-24s (%d disks, %d shards, %d sweep workers) median %.4g ns/run, %.3g events/sec\n",
+			b.Name, megaFleetDisks, c.shards, resolveWorkers(c.workers), b.Median(), rates.Median())
 		medians[c.name] = b.Median()
 		art.Benchmarks = append(art.Benchmarks, b, rates)
 	}

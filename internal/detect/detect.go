@@ -279,6 +279,15 @@ type PeerSet struct {
 	medsDirty bool
 	sorter    medsSorter // boxed once via pointer receiver: 0-alloc rebuilds
 	ids       []string   // sorted member ids; nil after a membership change
+
+	// Parallel sweep-engine scratch (sweep.go), reused across sweeps:
+	// per-worker sorted runs with their sorters and merge cursors, and the
+	// per-worker flag counters reduced in global member order.
+	runs       []float64
+	runSorters []medsSorter
+	runHeads   []int
+	runEnds    []int
+	flagCounts []int
 }
 
 // peerIncrementalCutoff is the fleet size above which PeerSet switches
@@ -304,6 +313,7 @@ type peerMember struct {
 	med          float64 // cached window.Median(), maintained by Observe
 	lastProgress float64
 	sawAnything  bool
+	idx          int32 // dense sweep index: position in list
 }
 
 // NewPeerSet validates cfg and builds an empty fleet.
@@ -320,10 +330,7 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 	m := p.members[id]
 	fresh := m == nil
 	if fresh {
-		m = &peerMember{window: stats.NewWindow(p.cfg.WindowSamples)}
-		p.members[id] = m
-		p.list = append(p.list, m)
-		p.ids = nil // membership changed; cached sorted ids are stale
+		m = p.addMember(id)
 	}
 	if !m.sawAnything {
 		m.lastProgress = now
@@ -334,8 +341,10 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 	}
 	m.window.Observe(rate)
 	med := m.window.Median()
-	if len(p.members) > peerIncrementalCutoff {
-		// Large fleet: defer mirror maintenance to the next verdict.
+	if len(p.members) > peerIncrementalCutoff || p.medsDirty {
+		// Large fleet — or a sweep already deferred maintenance: the mirror
+		// is (or will be) stale, so incremental upkeep would corrupt it.
+		// Defer to the next verdict's rebuild instead.
 		p.medsDirty = true
 	} else {
 		if !fresh {
@@ -344,6 +353,18 @@ func (p *PeerSet) Observe(id string, now, rate float64) {
 		p.meds = stats.SortedInsert(p.meds, med)
 	}
 	m.med = med
+}
+
+// addMember creates and indexes a fresh member.
+func (p *PeerSet) addMember(id string) *peerMember {
+	m := &peerMember{
+		window: stats.NewWindow(p.cfg.WindowSamples),
+		idx:    int32(len(p.list)),
+	}
+	p.members[id] = m
+	p.list = append(p.list, m)
+	p.ids = nil // membership changed; cached sorted ids are stale
+	return m
 }
 
 // rebuildMeds regenerates the ascending medians mirror from every member's
@@ -391,18 +412,39 @@ func (p *PeerSet) peerMedian(m *peerMember) float64 {
 // Verdict classifies the named component as of the given time.
 func (p *PeerSet) Verdict(id string, now float64) spec.Verdict {
 	m := p.members[id]
-	if m == nil || !m.sawAnything {
+	if m == nil {
 		return spec.Nominal
 	}
-	if p.cfg.PromotionTimeout > 0 && now-m.lastProgress > p.cfg.PromotionTimeout {
-		return spec.AbsoluteFaulty
-	}
-	if len(p.members) < p.cfg.MinPeers || m.window.Len() == 0 {
-		return spec.Nominal
+	if v, done := p.quickVerdict(m, now); done {
+		return v
 	}
 	if p.medsDirty {
 		p.rebuildMeds()
 	}
+	return p.classify(m)
+}
+
+// quickVerdict resolves the verdicts that need no fleet median: unseen
+// members, silence promotion, and too-small fleets. done reports whether
+// the verdict is final.
+func (p *PeerSet) quickVerdict(m *peerMember, now float64) (v spec.Verdict, done bool) {
+	if !m.sawAnything {
+		return spec.Nominal, true
+	}
+	if p.cfg.PromotionTimeout > 0 && now-m.lastProgress > p.cfg.PromotionTimeout {
+		return spec.AbsoluteFaulty, true
+	}
+	if len(p.members) < p.cfg.MinPeers || m.window.Len() == 0 {
+		return spec.Nominal, true
+	}
+	return spec.Nominal, false
+}
+
+// classify compares the member's cached median against the exclude-one
+// fleet median. The sorted mirror must be clean: callers rebuild before
+// classifying (the parallel sweep rebuilds once, then fans classify
+// read-only across workers).
+func (p *PeerSet) classify(m *peerMember) spec.Verdict {
 	ref := p.peerMedian(m)
 	if math.IsNaN(ref) {
 		return spec.Nominal

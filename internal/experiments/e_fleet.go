@@ -53,6 +53,17 @@ type FleetParams struct {
 	// Ticks is the number of fleet sweeps; faults inject after a third of
 	// them. Zero means the default 12.
 	Ticks int
+	// SweepWorkers sizes the barrier's worker pool: the fleet sweep's
+	// observe and classify phases fan across this many workers. Zero means
+	// GOMAXPROCS. The result is byte-identical at any value.
+	SweepWorkers int
+	// Rebalance load-balances disks across shards before construction: an
+	// analytic per-disk event-cost model (built from a pure RNG pre-pass,
+	// so the main pass's draws are untouched) feeds
+	// sim.RecommendPlacement, and the plan is installed with SetPlacement.
+	// Placement is just another partition, so results are unchanged; only
+	// the per-shard wall-clock balance moves.
+	Rebalance bool
 	// ObserveBarrier, when non-nil, enables the kernel's barrier cost
 	// counters and receives the profile after the run.
 	ObserveBarrier func(st sim.BarrierStats, perShard []uint64)
@@ -112,10 +123,16 @@ func RunFleetScenario(p FleetParams) FleetResult {
 		stutterMult = 0.25
 	)
 	ss := sim.NewSharded(p.Shards, fleetTick)
+	ss.SetBarrierParallelism(p.SweepWorkers)
+	pool := ss.BarrierPool()
+	defer pool.Close()
 	if p.ObserveBarrier != nil {
 		ss.Profile()
 	}
 	root := sim.NewRNG(p.Seed).Fork("e32")
+	if p.Rebalance {
+		ss.SetPlacement(sim.RecommendPlacement(fleetLoadModel(root, p), p.Shards))
+	}
 
 	disks := make([]fleetDisk, p.Disks)
 	ids := make([]string, p.Disks)
@@ -178,27 +195,30 @@ func RunFleetScenario(p FleetParams) FleetResult {
 	}
 
 	// The barrier drains every tick's samples into the fleet sweep: all
-	// shards have sampled tick k once the window horizon passes k, and the
-	// sweep itself runs single-threaded in global disk order — the one
-	// ordering that exists at every shard count.
+	// shards have sampled tick k once the window horizon passes k. The
+	// sweep itself fans across the kernel's barrier pool — observe all,
+	// rebuild the median mirror by parallel sort + k-way merge, classify
+	// all — with every reduction in dense disk order, so the outcome is
+	// byte-identical at any worker count. Only the serial bookkeeping loop
+	// below reads the verdicts.
 	ps := detect.NewPeerSet(detect.PeerConfig{
 		WindowSamples: 4, Threshold: 0.7, MinPeers: 4, PromotionTimeout: 2.5,
 	})
+	for _, id := range ids {
+		ps.Register(id)
+	}
+	verdicts := make([]spec.Verdict, p.Disks)
 	sweep := 1
 	lagSum, lagN := 0, 0
 	ss.SetBarrier(func(h sim.Time) {
 		for sweep <= p.Ticks && float64(sweep) < h {
 			now := float64(sweep)
-			for i, id := range ids {
-				ps.Observe(id, now, samples[i])
-			}
-			flagged := 0
-			for i, id := range ids {
-				v := ps.Verdict(id, now)
+			ps.SweepObserve(pool, now, samples)
+			flagged := ps.SweepVerdicts(pool, now, verdicts)
+			for i, v := range verdicts {
 				if v == spec.Nominal {
 					continue
 				}
-				flagged++
 				if faultKind[i] != 0 && flagTick[i] < 0 {
 					flagTick[i] = int32(sweep)
 					lagSum += sweep - faultTick
@@ -232,6 +252,38 @@ func RunFleetScenario(p FleetParams) FleetResult {
 	return res
 }
 
+// fleetLoadModel predicts each disk's kernel-event cost before the fleet
+// is built, by replaying the construction loop's per-disk RNG draws:
+// Fork is pure (it hashes, never consumes parent state), so this pre-pass
+// leaves the main pass's streams untouched. The model counts completions
+// — two per tick at full rate — plus the injection event: a failed disk
+// stops at the fault tick, a stuttered one drops to a quarter rate (one
+// completion every two ticks), a healthy one runs full the whole way.
+// The units are approximate event counts, but RecommendPlacement only
+// needs the ratios.
+func fleetLoadModel(root *sim.RNG, p FleetParams) []sim.Load {
+	faultTick := p.Ticks / 3
+	const (
+		stutterFrac = 1.0 / 512
+		failFrac    = 1.0 / 1024
+	)
+	loads := make([]sim.Load, p.Disks)
+	for i := range loads {
+		id := fmt.Sprintf("d%07d", i)
+		rng := root.Fork(id)
+		rng.Float64() // rate draw; cost depends only on the fault draw
+		cost := 2 * float64(p.Ticks)
+		switch u := rng.Float64(); {
+		case u < failFrac:
+			cost = 2*float64(faultTick) + 1
+		case u < failFrac+stutterFrac:
+			cost = 2*float64(faultTick) + 0.5*float64(p.Ticks-faultTick) + 1
+		}
+		loads[i] = sim.Load{ID: id, Cost: cost}
+	}
+	return loads
+}
+
 func runE32(cfg Config) *Table {
 	t := NewTable("E32", "Fleet-scale peer detection",
 		"peer-relative medians pick the divergent disks out of a fleet with no absolute spec; "+
@@ -253,7 +305,7 @@ func runE32(cfg Config) *Table {
 		}
 		r := RunFleetScenario(FleetParams{
 			Disks: n, Shards: cfg.ShardCount(), Seed: cfg.Seed,
-			ObserveBarrier: obs,
+			SweepWorkers: cfg.SweepWorkers, ObserveBarrier: obs,
 		})
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%d/%d", r.DetectedStutter, r.InjectedStutter),

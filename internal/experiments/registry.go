@@ -36,6 +36,11 @@ type Config struct {
 	// core. Tables and telemetry are byte-identical at any value — the
 	// setting only trades wall-clock for cores.
 	Shards int
+	// SweepWorkers sizes the barrier worker pool experiments fan
+	// fleet-wide sweeps across (E32); 0 means GOMAXPROCS. Like Shards, the
+	// setting only trades wall-clock for cores — output is byte-identical
+	// at any value.
+	SweepWorkers int
 	// ObserveBarrier, when non-nil, receives every sharded kernel's
 	// post-run barrier cost profile, tagged with a run label. Setting it
 	// enables the kernel's profile counters at construction. `fstutter

@@ -132,6 +132,33 @@ func TestArtifactDeterminismUnderConcurrency(t *testing.T) {
 	}
 }
 
+// TestE32SeedGatedRows pins the fleet predictor's seed gating: every
+// seed gets the binomial-injection and conservation rows, but the
+// exact-recall and zero-false-alarm equalities only apply at the
+// committed seed 42 — at other seeds the detector is merely conservative,
+// not provably perfect.
+func TestE32SeedGatedRows(t *testing.T) {
+	hasQuantity := func(rep *Report, q string) bool {
+		for _, row := range rep.Rows {
+			if row.Quantity == q {
+				return true
+			}
+		}
+		return false
+	}
+	at42 := analyzeQuick(t, "E32", 42, 0)
+	if !hasQuantity(at42, "false_alarms_512") || !hasQuantity(at42, "lag_ticks_2048") {
+		t.Errorf("seed 42: exact-count rows missing from report: %+v", at42.Rows)
+	}
+	at1 := analyzeQuick(t, "E32", 1, 0)
+	if hasQuantity(at1, "false_alarms_512") {
+		t.Error("seed 1: exact false-alarm row present; it is only provable at the committed seed")
+	}
+	if !hasQuantity(at1, "injected_stutter_2048") {
+		t.Error("seed 1: binomial injection rows missing")
+	}
+}
+
 func TestAnalyzeRejectsUncovered(t *testing.T) {
 	tbl := experiments.NewTable("E99", "uncovered", "n/a", "col")
 	if _, err := Analyze(Input{Table: tbl}); err == nil {

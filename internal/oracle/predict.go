@@ -38,11 +38,12 @@ var predictors = map[string]predictor{
 	"E15": predictE15,
 	"E23": predictE23,
 	"E29": predictE29,
+	"E32": predictE32,
 }
 
 // coveredOrder is the display order of covered experiments.
 var coveredOrder = []string{
-	"E01", "E02", "E03", "E04", "E05", "E07", "E08", "E13", "E14", "E15", "E23", "E29",
+	"E01", "E02", "E03", "E04", "E05", "E07", "E08", "E13", "E14", "E15", "E23", "E29", "E32",
 }
 
 // Covered lists the experiments the oracle has predictors for, in id
@@ -559,7 +560,7 @@ func predictE14(in Input, r *Report) {
 	capHealthy := 4 * opsPerNode / 2
 	r.check(in, "queue-capacity", "puts_healthy", capHealthy, Upper, 0.02)
 	// The closed loop keeps the bricks near saturation; the floor is
-	// calibrated, not derived (see DESIGN.md section 11).
+	// calibrated, not derived (see DESIGN.md section 12).
 	r.check(in, "queue-capacity", "puts_healthy", 0.6*capHealthy, Lower, 0)
 
 	r.check(in, "queue-capacity", "puts_gc_sync", (3*opsPerNode+healthy0)/2, Upper, 0.05)
@@ -703,4 +704,57 @@ func predictE29(in Input, r *Report) {
 	r.check(in, "bsp-superstep", "slow_ms_elastic", rounds*roundUpper*1e3, Upper, 0.01)
 	r.check(in, "bsp-superstep", "slowdown_elastic", mWorkers/sTotal, Lower, 0.02)
 	r.check(in, "bsp-superstep", "slowdown_elastic", roundUpper/(v*mQuantum), Upper, 0.02)
+}
+
+// ---------------------------------------------------------------------------
+// E32 — fleet-scale peer detection. Fault injection is i.i.d. per disk
+// (each disk's forked RNG stream draws once against the stutter and
+// fail-stop fractions), so the injected counts are Binomial(n, p) and
+// must sit within six sigma of n*p at any seed. Detection is conservative
+// by construction — a detected fault was injected — and at the committed
+// seed the detector is exact: every injected fault found, zero false
+// alarms, at every fleet size in the suite.
+
+func predictE32(in Input, r *Report) {
+	fleets := []int{512, 2048}
+	if !in.Quick {
+		fleets = []int{1 << 14, 1 << 17, 1 << 20}
+	}
+	faults := []struct {
+		kind string
+		p    float64
+	}{
+		{"stutter", 1.0 / 512},
+		{"fail", 1.0 / 1024},
+	}
+	for _, n := range fleets {
+		for _, f := range faults {
+			mean := float64(n) * f.p
+			sigma := math.Sqrt(float64(n) * f.p * (1 - f.p))
+			r.check(in, "binomial-injection", fmt.Sprintf("injected_%s_%d", f.kind, n),
+				mean, TwoSided, 6*sigma/mean)
+
+			// Detection never exceeds injection (a flagged healthy disk
+			// counts as a false alarm, not a detection) — any seed.
+			injected, _ := in.Table.Metric(fmt.Sprintf("injected_%s_%d", f.kind, n))
+			detectedKey := fmt.Sprintf("detected_%s_%d", f.kind, n)
+			r.check(in, "peer-detection", detectedKey, injected, Upper, 0)
+			if in.Seed == 42 {
+				// The committed seed: recall is exactly 1 at every scale.
+				r.check(in, "peer-detection", detectedKey, injected, TwoSided, 0)
+			}
+		}
+		if in.Seed == 42 {
+			r.check(in, "peer-detection", fmt.Sprintf("false_alarms_%d", n), 0, TwoSided, 0)
+			// Detection lag: the first degraded sample lands one tick after
+			// mid-tick injection, and the 4-sample window median crosses the
+			// threshold within two more — so the mean lag sits in [1, 3]
+			// sweeps whenever anything was flagged.
+			if injected, _ := in.Table.Metric(fmt.Sprintf("injected_fail_%d", n)); injected > 0 {
+				lagKey := fmt.Sprintf("lag_ticks_%d", n)
+				r.check(in, "peer-detection", lagKey, 1, Lower, 0)
+				r.check(in, "peer-detection", lagKey, 3, Upper, 0)
+			}
+		}
+	}
 }

@@ -40,9 +40,14 @@ type BarrierRun struct {
 	PerShardFired []uint64
 	// WindowNanos and BarrierNanos split the run's wall-clock between
 	// the parallel window region and the single-threaded barrier.
+	// DeliverNanos and SweepNanos split BarrierNanos further: the
+	// cross-shard merge-and-push (the merge wall) versus the barrier hook
+	// (the sweep wall — for the fleet, the parallel PeerSet sweep).
 	// Wall-clock: nondeterministic, text report only.
 	WindowNanos  int64
 	BarrierNanos int64
+	DeliverNanos int64
+	SweepNanos   int64
 }
 
 // EventsPerWindow is the mean window payload — the quantity the batched
@@ -90,6 +95,24 @@ func (r *BarrierRun) BarrierFrac() float64 {
 		return 0
 	}
 	return float64(r.BarrierNanos) / float64(total)
+}
+
+// DeliverFrac is the cross-shard merge wall's share of the barrier time;
+// SweepFrac is the barrier hook's (the fleet sweep's). Zero when the run
+// predates the split or carried no timing.
+func (r *BarrierRun) DeliverFrac() float64 {
+	if r.BarrierNanos == 0 {
+		return 0
+	}
+	return float64(r.DeliverNanos) / float64(r.BarrierNanos)
+}
+
+// SweepFrac is the barrier hook's share of the barrier wall-clock.
+func (r *BarrierRun) SweepFrac() float64 {
+	if r.BarrierNanos == 0 {
+		return 0
+	}
+	return float64(r.SweepNanos) / float64(r.BarrierNanos)
 }
 
 // BarrierReport is one experiment's barrier cost profile across its
@@ -160,21 +183,29 @@ func (r *BarrierReport) WriteJSON(w io.Writer) error {
 func (r *BarrierReport) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "barrier profile: %s\n", r.Experiment)
-	fmt.Fprintf(bw, "  %-24s %6s %9s %9s %6s %6s %6s %9s\n",
-		"run", "shards", "windows", "ev/win", "xshard", "imbal", "solo", "barrier%")
+	fmt.Fprintf(bw, "  %-24s %6s %9s %9s %6s %6s %6s %9s %7s %7s\n",
+		"run", "shards", "windows", "ev/win", "xshard", "imbal", "solo", "barrier%", "merge%", "sweep%")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		solo := 0.0
 		if run.Windows > 0 {
 			solo = float64(run.SoloWindows) / float64(run.Windows)
 		}
-		barrier := "-"
+		barrier, merge, sweep := "-", "-", "-"
 		if run.WindowNanos+run.BarrierNanos > 0 {
 			barrier = fmt.Sprintf("%.1f%%", 100*run.BarrierFrac())
 		}
-		fmt.Fprintf(bw, "  %-24s %6d %9d %9.1f %5.1f%% %6.2f %5.0f%% %9s\n",
+		// merge% and sweep% are shares *of the barrier wall*, not of the
+		// whole run: together they show which half of the handshake —
+		// cross-shard delivery or the hook's fleet sweep — the barrier
+		// spends its time in.
+		if run.BarrierNanos > 0 {
+			merge = fmt.Sprintf("%.1f%%", 100*run.DeliverFrac())
+			sweep = fmt.Sprintf("%.1f%%", 100*run.SweepFrac())
+		}
+		fmt.Fprintf(bw, "  %-24s %6d %9d %9.1f %5.1f%% %6.2f %5.0f%% %9s %7s %7s\n",
 			run.Run, run.Shards, run.Windows, run.EventsPerWindow(),
-			100*run.CrossShardFrac(), run.Imbalance(), 100*solo, barrier)
+			100*run.CrossShardFrac(), run.Imbalance(), 100*solo, barrier, merge, sweep)
 	}
 	return bw.Flush()
 }

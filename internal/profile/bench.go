@@ -41,13 +41,16 @@ func (b Bench) Median() float64 {
 // warns when the two sides of a diff disagree. Zero means the artifact
 // predates the fields (unknown), which never warns.
 type BenchArtifact struct {
-	Schema     string  `json:"schema"`
-	Seed       uint64  `json:"seed"`
-	Quick      bool    `json:"quick"`
-	Shards     int     `json:"shards,omitempty"`
-	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
-	NumCPU     int     `json:"numcpu,omitempty"`
-	Benchmarks []Bench `json:"benchmarks"`
+	Schema     string `json:"schema"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Shards     int    `json:"shards,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"numcpu,omitempty"`
+	// SweepWorkers is the barrier sweep pool size the fleet benchmarks
+	// ran with (the resolved -sweep-workers value).
+	SweepWorkers int     `json:"sweepworkers,omitempty"`
+	Benchmarks   []Bench `json:"benchmarks"`
 }
 
 // WriteJSON writes the artifact in canonical byte-deterministic form:
@@ -73,6 +76,10 @@ func (a *BenchArtifact) WriteJSON(w io.Writer) error {
 	if a.NumCPU > 0 {
 		bw.WriteString(`,"numcpu":`)
 		bw.WriteString(strconv.Itoa(a.NumCPU))
+	}
+	if a.SweepWorkers > 0 {
+		bw.WriteString(`,"sweepworkers":`)
+		bw.WriteString(strconv.Itoa(a.SweepWorkers))
 	}
 	bw.WriteString(`,"benchmarks":[`)
 	for i, b := range benches {

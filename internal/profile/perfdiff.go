@@ -100,6 +100,7 @@ func PerfDiff(oldA, newA *BenchArtifact, cfg PerfDiffConfig) *PerfDiffReport {
 	warnMeta("shards", oldA.Shards, newA.Shards)
 	warnMeta("GOMAXPROCS", oldA.GoMaxProcs, newA.GoMaxProcs)
 	warnMeta("cpu count", oldA.NumCPU, newA.NumCPU)
+	warnMeta("sweep workers", oldA.SweepWorkers, newA.SweepWorkers)
 
 	newBy := make(map[string]Bench, len(newA.Benchmarks))
 	for _, b := range newA.Benchmarks {

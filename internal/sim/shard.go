@@ -88,6 +88,15 @@ type ShardedSimulator struct {
 	// stopped requests that the window loop halt at the next barrier;
 	// pending events stay queued, exactly as Simulator.Stop leaves them.
 	stopped bool
+
+	// placement, when non-nil, overrides the identity hash for the listed
+	// stations — the construction-time rebalancing plan (SetPlacement).
+	placement map[string]int
+
+	// barrierWorkers and pool hold the reusable barrier worker pool
+	// (BarrierPool), which fleet-wide barrier hooks fan sweeps across.
+	barrierWorkers int
+	pool           *WorkerPool
 }
 
 // lane is one (source, destination) outbox: events appended in source
@@ -147,10 +156,14 @@ func (ss *ShardedSimulator) Lookahead() Duration { return ss.lookahead }
 // shard i's events must touch only state owned by shard i.
 func (ss *ShardedSimulator) Shard(i int) *Simulator { return ss.shards[i] }
 
-// ShardFor assigns a component key to a shard: a stable FNV-1a hash of the
-// identity, never of execution order, so a component lands on the same
-// shard in every run at a given shard count.
+// ShardFor assigns a component key to a shard: the placement plan's
+// entry when one was installed (SetPlacement), else a stable FNV-1a hash
+// of the identity — never of execution order, so a component lands on
+// the same shard in every run at a given shard count and plan.
 func (ss *ShardedSimulator) ShardFor(key string) int {
+	if shard, ok := ss.placement[key]; ok {
+		return shard
+	}
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	return int(h.Sum64() % uint64(len(ss.shards)))
@@ -300,11 +313,18 @@ func (ss *ShardedSimulator) RunUntil(limit Time) {
 			wall = mid
 		}
 		ss.deliver()
+		var delivered time.Time
+		if prof != nil {
+			delivered = time.Now()
+			prof.DeliverNanos += delivered.Sub(wall).Nanoseconds()
+		}
 		if ss.barrier != nil {
 			ss.barrier(h)
 		}
 		if prof != nil {
-			prof.BarrierNanos += time.Since(wall).Nanoseconds()
+			end := time.Now()
+			prof.SweepNanos += end.Sub(delivered).Nanoseconds()
+			prof.BarrierNanos += end.Sub(wall).Nanoseconds()
 		}
 	}
 	if !ss.stopped && !math.IsInf(limit, 1) {
@@ -505,10 +525,16 @@ type BarrierStats struct {
 	// MaxWindowFired is the largest single-window event count.
 	MaxWindowFired uint64
 	// WindowNanos and BarrierNanos split the run's wall-clock between the
-	// parallel window region and the single-threaded barrier (delivery +
-	// barrier hook). Wall-clock: nondeterministic across runs and hosts.
+	// parallel window region and the barrier (delivery + barrier hook).
+	// DeliverNanos and SweepNanos split BarrierNanos further: the
+	// cross-shard merge-and-push (the merge wall) versus the barrier hook
+	// (the sweep wall — where the fleet's detection sweep runs, the part
+	// BarrierParallelism exists to shrink). BarrierNanos is always their
+	// sum. Wall-clock: nondeterministic across runs and hosts.
 	WindowNanos  int64
 	BarrierNanos int64
+	DeliverNanos int64
+	SweepNanos   int64
 }
 
 // Profile enables barrier cost accounting (idempotent) and returns the
