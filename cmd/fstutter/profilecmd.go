@@ -11,6 +11,7 @@ import (
 	"failstutter/internal/experiments"
 	"failstutter/internal/profile"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // cmdProfile runs each experiment with the profiling plane on and emits
@@ -80,13 +81,14 @@ func runMeta(cfg experiments.Config) profile.RunMeta {
 	}
 }
 
-// barrierPass reruns an experiment with every telemetry plane off — the
-// tracer pins sharded runs to one shard, so tracing and the parallel
-// schedule are mutually exclusive — at the configured shard count,
-// collecting each sharded kernel's barrier cost profile. Experiments
-// that never build a sharded kernel return nil and emit no artifact.
-// The JSON artifact holds only the deterministic fields; the wall-clock
-// window/barrier split goes to stdout.
+// barrierPass reruns an experiment with every telemetry plane off at
+// the configured shard count, collecting each sharded kernel's barrier
+// cost profile. Telemetry no longer constrains the schedule — traced
+// runs use per-shard collectors — but the barrier numbers should
+// measure the kernel itself, so this pass keeps the collectors out of
+// the loop. Experiments that never build a sharded kernel return nil
+// and emit no artifact. The JSON artifact holds only the deterministic
+// fields; the wall-clock window/barrier split goes to stdout.
 func barrierPass(cfg experiments.Config, e experiments.Experiment) *profile.BarrierReport {
 	cfg.Profile, cfg.Trace, cfg.Audit, cfg.Metrics = false, false, false, false
 	rep := &profile.BarrierReport{Experiment: e.ID}
@@ -248,13 +250,19 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 		shards    int
 		workers   int
 		rebalance bool
+		traced    bool
 		samples   int
 	}
 	configs := []fleetConfig{
 		// The headline pair: fully serial (one shard, one sweep worker)
 		// versus the configured parallelism with load-balanced placement.
-		{"fleet/1M/serial", 1, 1, false, fleetSamples},
-		{"fleet/1M/sharded", cfg.ShardCount(), cfg.SweepWorkers, true, fleetSamples},
+		{name: "fleet/1M/serial", shards: 1, workers: 1, samples: fleetSamples},
+		{name: "fleet/1M/sharded", shards: cfg.ShardCount(), workers: cfg.SweepWorkers,
+			rebalance: true, samples: fleetSamples},
+		// The tracing tax at fleet scale: the same sharded configuration
+		// with per-shard collectors and the flight recorder on.
+		{name: "fleet/1M/traced", shards: cfg.ShardCount(), workers: cfg.SweepWorkers,
+			rebalance: true, traced: true, samples: fleetSamples},
 	}
 	// The sweep-worker scaling axis: same sharded kernel, barrier pool
 	// doubling from 1 to GOMAXPROCS. One sample each — the axis maps the
@@ -273,9 +281,20 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 			var events uint64
 			res := testing.Benchmark(func(tb *testing.B) {
 				for n := 0; n < tb.N; n++ {
+					var tel *experiments.Telemetry
+					if c.traced {
+						rc := experiments.FleetRecorder(cfg.Seed)
+						tel = &experiments.Telemetry{
+							Tracer:   trace.NewTracer(),
+							Metrics:  trace.NewRegistry(),
+							Recorder: &rc,
+						}
+						tel.Tracer.SetFlightRecorder(rc)
+					}
 					r := experiments.RunFleetScenario(experiments.FleetParams{
 						Disks: megaFleetDisks, Shards: c.shards, Seed: cfg.Seed,
 						SweepWorkers: c.workers, Rebalance: c.rebalance,
+						Telemetry: tel,
 					})
 					events = r.Events
 				}
@@ -291,6 +310,9 @@ func cmdBench(cfg experiments.Config, samples int, outPath string) {
 	}
 	if s, p := medians["fleet/1M/serial"], medians["fleet/1M/sharded"]; s > 0 && p > 0 {
 		fmt.Fprintf(os.Stderr, "bench fleet/1M speedup: sharded is %.2fx serial wall-clock\n", s/p)
+	}
+	if p, tr := medians["fleet/1M/sharded"], medians["fleet/1M/traced"]; p > 0 && tr > 0 {
+		fmt.Fprintf(os.Stderr, "bench fleet/1M tracing tax: traced is %.2fx sharded wall-clock\n", tr/p)
 	}
 
 	if outPath == "" {

@@ -188,6 +188,14 @@ func (d *DHT) Sim() *sim.Simulator { return d.sim }
 // track from issue to acknowledgment (the key as the span arg), and every
 // hinted-handoff release is an instant. A nil tracer detaches.
 func (d *DHT) SetTracer(t *trace.Tracer) {
+	// A sharded DHT lives entirely on its home shard; with per-shard
+	// collectors installed, its spans record there and MergeTelemetry
+	// folds them into the tracer passed here.
+	if t != nil && d.ss != nil {
+		if st := d.ss.ShardTracer(d.ss.ShardFor("dht")); st != nil {
+			t = st
+		}
+	}
 	d.tracer = t
 	if t != nil {
 		d.track = t.Track("dht")
@@ -201,6 +209,14 @@ func (d *DHT) SetTracer(t *trace.Tracer) {
 // the given audit trail, wrapping each node's flag in a detect.Audited
 // transition logger with the sampled rate and fleet median as evidence.
 func (d *DHT) EnableAudit(log *trace.AuditLog) {
+	// Same redirect as SetTracer: node verdicts are issued on the home
+	// shard, so they record into its audit collector and reach the log
+	// passed here through the deterministic (time, component) merge.
+	if log != nil && d.ss != nil {
+		if sa := d.ss.ShardAudit(d.ss.ShardFor("dht")); sa != nil {
+			log = sa
+		}
+	}
 	n := len(d.nodes)
 	d.audDet = make([]*flagDetector, n)
 	d.audited = make([]*detect.Audited, n)

@@ -171,7 +171,23 @@ func (p *Pool) Workers() []*Worker { return p.workers }
 // each execution's queue/service intervals on a "worker-<id>" track in
 // virtual time, and to the pool itself, so jobs running on it (BSP,
 // schedulers) emit their own spans. A nil tracer detaches.
+//
+// On a sharded pool whose coordinator has per-shard collectors installed
+// (sim.ShardedSimulator.SetTelemetry), the attachment redirects: each
+// worker's station records into its home shard's collector — the only
+// placement where window-time appends stay race-free and lock-free — and
+// the pool's own job-level spans (BSP supersteps, scheduler decisions,
+// all recorded single-threaded in barrier context) land on shard 0's
+// collector. MergeTelemetry then folds everything back into the tracer
+// passed here.
 func (p *Pool) SetTracer(t *trace.Tracer) {
+	if t != nil && p.ss != nil && p.ss.ShardTracer(0) != nil {
+		p.tracer = p.ss.ShardTracer(0)
+		for _, w := range p.workers {
+			w.st.SetTracer(p.ss.ShardTracer(w.shard))
+		}
+		return
+	}
 	p.tracer = t
 	for _, w := range p.workers {
 		w.st.SetTracer(t)

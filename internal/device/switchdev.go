@@ -6,6 +6,7 @@ import (
 
 	"failstutter/internal/faults"
 	"failstutter/internal/sim"
+	"failstutter/internal/trace"
 )
 
 // SwitchParams configures a simulated crossbar switch in the style of the
@@ -156,6 +157,26 @@ func newSender(sw *Switch, s *sim.Simulator, i int, p SwitchParams) *Sender {
 		comp:   faults.NewComposite(link),
 		origin: fmt.Sprintf("sender-%d", i),
 		weight: 1,
+	}
+}
+
+// SetTracer attaches a span tracer to every port group's stations: the
+// sender links ("link-<i>" tracks) and the output-port drains ("out-<i>"
+// tracks). In sharded mode with per-shard collectors installed
+// (sim.ShardedSimulator.SetTelemetry), port group i records into its home
+// shard's collector and the deterministic merge folds everything into the
+// tracer passed here; otherwise all stations record into it directly. A
+// nil tracer detaches.
+func (sw *Switch) SetTracer(t *trace.Tracer) {
+	for i := range sw.outs {
+		st := t
+		if t != nil && sw.ss != nil {
+			if shardT := sw.ss.ShardTracer(sw.shardOf[i]); shardT != nil {
+				st = shardT
+			}
+		}
+		sw.outs[i].station.SetTracer(st)
+		sw.sends[i].link.SetTracer(st)
 	}
 }
 

@@ -20,18 +20,14 @@ const clusterQuantum = sim.Duration(50e-6)
 // at most one quantum later than it would serially.
 const clusterLookahead = clusterQuantum
 
-// shardedCluster builds the coordinator the cluster experiments run on —
-// the sharded kernel at the configured count, except when tracing is on:
-// tracer span IDs are allocated in execution order, which only the
-// single-shard schedule makes placement-invariant, so traced runs pin to
-// one shard. Tables stay byte-identical either way; that is the
-// determinism suite's contract.
+// shardedCluster builds the coordinator the cluster experiments run on,
+// always at the configured shard count: traced runs install per-shard
+// telemetry collectors whose deterministic merge keeps every artifact
+// byte-identical at any count, so tracing no longer forces one shard.
 func shardedCluster(cfg Config, tel *Telemetry) *sim.ShardedSimulator {
-	shards := cfg.ShardCount()
-	if tel != nil && tel.Tracer != nil {
-		shards = 1
-	}
-	return cfg.newSharded(shards, clusterLookahead)
+	ss := cfg.newSharded(cfg.ShardCount(), clusterLookahead)
+	tel.attachSharded(ss)
+	return ss
 }
 
 func init() {
@@ -93,7 +89,7 @@ func clusterRunT(cfg Config, tel *Telemetry, name string, sched cluster.Schedule
 	if tel != nil {
 		run := tel.nextRun(name)
 		p.SetTracer(tel.Tracer)
-		tel.attachProfile(ss.Shard(0), run)
+		tel.attachProfileSharded(ss, run)
 		if da, ok := sched.(cluster.DetectAvoid); ok && tel.Audit != nil {
 			da.Audit = tel.Audit
 			sched = da
@@ -103,7 +99,7 @@ func clusterRunT(cfg Config, tel *Telemetry, name string, sched cluster.Schedule
 		setup(p)
 	}
 	r := sched.Run(p, tasks)
-	tel.endRun(ss.Shard(0))
+	tel.endSharded(ss)
 	cfg.observeBarrier(name, ss)
 	return r
 }
@@ -123,7 +119,7 @@ func runE14(cfg Config) *Table {
 		})
 		if tel != nil {
 			d.SetTracer(tel.Tracer)
-			tel.attachProfile(d.Sim(), tel.nextRun(name))
+			tel.attachProfileSharded(ss, tel.nextRun(name))
 			if tel.Audit != nil && adaptive {
 				d.EnableAudit(tel.Audit)
 			}
@@ -133,7 +129,7 @@ func runE14(cfg Config) *Table {
 			defer cancel()
 		}
 		puts := d.RunLoad(8, dur)
-		tel.endRun(d.Sim())
+		tel.endSharded(ss)
 		cfg.observeBarrier(name, ss)
 		return puts, d.Hints()
 	}
@@ -247,13 +243,13 @@ func runE29(cfg Config) *Table {
 		p := cluster.NewShardedPool(ss, 4, clusterQuantum)
 		if tel != nil {
 			p.SetTracer(tel.Tracer)
-			tel.attachProfile(ss.Shard(0), tel.nextRun(name))
+			tel.attachProfileSharded(ss, tel.nextRun(name))
 		}
 		if slowSpeed > 0 {
 			p.Workers()[0].SetSpeed(slowSpeed)
 		}
 		r := cluster.RunBSP(p, params)
-		tel.endRun(ss.Shard(0))
+		tel.endSharded(ss)
 		cfg.observeBarrier(name, ss)
 		return r.Makespan
 	}

@@ -67,6 +67,12 @@ type FleetParams struct {
 	// ObserveBarrier, when non-nil, enables the kernel's barrier cost
 	// counters and receives the profile after the run.
 	ObserveBarrier func(st sim.BarrierStats, perShard []uint64)
+	// Telemetry, when non-nil, traces the fleet: per-shard collectors are
+	// installed on the kernel and every disk station records into its home
+	// shard's collector. Fleet runs are expected to set Telemetry.Recorder
+	// (the flight-recorder bound) — retaining every span of a million-disk
+	// run wholesale is exactly what the recorder exists to avoid.
+	Telemetry *Telemetry
 }
 
 // FleetResult is the scenario's virtual-time outcome. Every field is
@@ -133,6 +139,7 @@ func RunFleetScenario(p FleetParams) FleetResult {
 	if p.Rebalance {
 		ss.SetPlacement(sim.RecommendPlacement(fleetLoadModel(root, p), p.Shards))
 	}
+	p.Telemetry.attachSharded(ss)
 
 	disks := make([]fleetDisk, p.Disks)
 	ids := make([]string, p.Disks)
@@ -152,6 +159,9 @@ func RunFleetScenario(p FleetParams) FleetResult {
 		rate := 80 + 40*rng.Float64()
 		d := &disks[i]
 		d.st = sim.NewStation(sh, ids[i], rate)
+		if tr := ss.ShardTracer(shard); tr != nil {
+			d.st.SetTracer(tr)
+		}
 		// Two completions per tick: the closed loop resubmits the same
 		// request object, so steady state allocates nothing.
 		d.req.Size = rate * 0.5
@@ -249,7 +259,29 @@ func RunFleetScenario(p FleetParams) FleetResult {
 	if p.ObserveBarrier != nil {
 		p.ObserveBarrier(*ss.Profile(), ss.PerShardFired())
 	}
+	p.Telemetry.endSharded(ss)
 	return res
+}
+
+// Flight-recorder bounds for traced fleet runs: enough retained spans to
+// reconstruct incident timelines and latency profiles, small enough that
+// tracing a 2^20-disk run costs megabytes of retention instead of the
+// ~25M spans it records.
+const (
+	fleetRing      = 2048
+	fleetReservoir = 2048
+)
+
+// FleetRecorder builds the flight-recorder configuration traced fleet
+// runs share: the ring/reservoir bounds above with a sampling seed
+// forked from the experiment seed, so the retained selection is
+// deterministic and byte-identical at any shard count.
+func FleetRecorder(seed uint64) trace.RecorderConfig {
+	return trace.RecorderConfig{
+		Ring:      fleetRing,
+		Reservoir: fleetReservoir,
+		Seed:      sim.NewRNG(seed).Fork("e32-flight-recorder").Uint64(),
+	}
 }
 
 // fleetLoadModel predicts each disk's kernel-event cost before the fleet
@@ -291,10 +323,21 @@ func runE32(cfg Config) *Table {
 		"disks", "events", "stutter found", "fail found", "false alarms", "detection lag")
 	tel := cfg.telemetry()
 	t.Telemetry = tel
+	if tel != nil && tel.Tracer != nil {
+		// Fleet traces run under the flight recorder: exact counts stay in
+		// the merged registry, while span retention is bounded no matter
+		// how many disks the fleet has. One seed for the whole experiment —
+		// the destination tracer and every per-shard collector must agree
+		// on sampling priorities for the merge to be placement-invariant.
+		rc := FleetRecorder(cfg.Seed)
+		tel.Recorder = &rc
+		tel.Tracer.SetFlightRecorder(rc)
+	}
 	fleets := []int{512, 2048}
 	if !cfg.Quick {
 		fleets = []int{1 << 14, 1 << 17, 1 << 20}
 	}
+	var prevRecorded uint64
 	for _, n := range fleets {
 		var obs func(sim.BarrierStats, []uint64)
 		if cfg.ObserveBarrier != nil {
@@ -306,6 +349,7 @@ func runE32(cfg Config) *Table {
 		r := RunFleetScenario(FleetParams{
 			Disks: n, Shards: cfg.ShardCount(), Seed: cfg.Seed,
 			SweepWorkers: cfg.SweepWorkers, ObserveBarrier: obs,
+			Telemetry: tel,
 		})
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%d/%d", r.DetectedStutter, r.InjectedStutter),
@@ -325,6 +369,14 @@ func runE32(cfg Config) *Table {
 			series := tel.Metrics.Series("fleet-flagged", trace.L("run", run))
 			for k, f := range r.FlaggedPerSweep {
 				series.Add(float64(k+1), float64(f))
+			}
+			if tel.Tracer != nil {
+				// Exact span volume vs what the recorder retained: the gap
+				// is the whole point of the flight recorder.
+				rec := tel.Tracer.Recorded()
+				tel.Metrics.Counter("fleet-trace-recorded", trace.L("run", run)).Add(rec - prevRecorded)
+				prevRecorded = rec
+				tel.Metrics.Counter("fleet-trace-retained", trace.L("run", run)).Add(uint64(tel.Tracer.Len()))
 			}
 		}
 	}

@@ -16,9 +16,13 @@ const switchWire = 1e-4
 
 // shardedNet builds the coordinator the switch experiments run on —
 // always the sharded kernel, at whatever -shards says (1 included), with
-// lookahead derived from the fabric's wire latency.
-func shardedNet(cfg Config) *sim.ShardedSimulator {
-	return cfg.newSharded(cfg.ShardCount(), switchWire)
+// lookahead derived from the fabric's wire latency. Traced runs install
+// per-shard telemetry collectors, merged deterministically at the end of
+// each sub-run.
+func shardedNet(cfg Config, tel *Telemetry) *sim.ShardedSimulator {
+	ss := cfg.newSharded(cfg.ShardCount(), switchWire)
+	tel.attachSharded(ss)
+	return ss
 }
 
 func transposeSwitch(ss *sim.ShardedSimulator, ports int) *device.Switch {
@@ -63,6 +67,8 @@ func runE10(cfg Config) *Table {
 	t := NewTable("E10", "All-to-all transpose vs slow receivers",
 		"one slow receiver cuts aggregate bandwidth ~3x",
 		"slow receivers", "receiver speed", "aggregate bandwidth", "slowdown")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	base := 0.0
 	for _, tc := range []struct {
 		slow  int
@@ -70,12 +76,18 @@ func runE10(cfg Config) *Table {
 	}{
 		{0, 1}, {1, 0.5}, {1, 0.33}, {1, 0.1}, {2, 0.33}, {4, 0.33},
 	} {
-		ss := shardedNet(cfg)
+		name := fmt.Sprintf("slow%d-%.2f", tc.slow, tc.speed)
+		ss := shardedNet(cfg, tel)
 		sw := transposeSwitch(ss, ports)
+		if tel != nil {
+			sw.SetTracer(tel.Tracer)
+			tel.attachProfileSharded(ss, tel.nextRun(name))
+		}
 		for i := 0; i < tc.slow; i++ {
 			sw.ReceiverComposite(i).Set("slow", tc.speed)
 		}
 		bw := workload.TransposeShardedBandwidth(ss, sw, msg)
+		tel.endSharded(ss)
 		cfg.observeBarrier(fmt.Sprintf("transpose-slow%d-%.2f", tc.slow, tc.speed), ss)
 		if tc.slow == 0 {
 			base = bw
@@ -102,14 +114,25 @@ func runE11(cfg Config) *Table {
 		"disfavored links appear slower; the misled global transfer slows ~50%",
 		"configuration", "observed route rates", "transfer makespan", "vs balanced")
 
+	tel := cfg.telemetry()
+	t.Telemetry = tel
+
 	// Phase 1: measure per-route progress while all routes push through a
 	// contended port for a fixed window.
 	measure := func(unfair bool) []float64 {
-		ss := shardedNet(cfg)
+		name := "measure-fair"
+		if unfair {
+			name = "measure-unfair"
+		}
+		ss := shardedNet(cfg, tel)
 		sw := device.NewShardedSwitch(ss, device.SwitchParams{
 			Ports: ports, LinkRate: 1e6, DrainRate: 0.4e6, BufferBytes: 32 * 1024,
 			WireLatency: switchWire,
 		})
+		if tel != nil {
+			sw.SetTracer(tel.Tracer)
+			tel.attachProfileSharded(ss, tel.nextRun(name))
+		}
 		if unfair {
 			sw.Sender(0).SetWeight(8)
 			sw.Sender(1).SetWeight(8)
@@ -122,11 +145,8 @@ func runE11(cfg Config) *Table {
 			sw.Sender(i).Enqueue(batch, nil)
 		}
 		ss.RunUntil(10)
-		label := "measure-fair"
-		if unfair {
-			label = "measure-unfair"
-		}
-		cfg.observeBarrier(label, ss)
+		tel.endSharded(ss)
+		cfg.observeBarrier(name, ss)
 		rates := make([]float64, 4)
 		for i := range rates {
 			rates[i] = sw.Sender(i).BytesSent() / 10
@@ -209,16 +229,23 @@ func runE12(cfg Config) *Table {
 	t := NewTable("E12", "Deadlock-recovery freezes",
 		"each recovery halts all traffic for two seconds",
 		"freezes", "transpose time", "added delay")
+	tel := cfg.telemetry()
+	t.Telemetry = tel
 	base := 0.0
 	for _, freezes := range []int{0, 1, 2, 3} {
-		ss := shardedNet(cfg)
+		ss := shardedNet(cfg, tel)
 		sw := transposeSwitch(ss, ports)
+		if tel != nil {
+			sw.SetTracer(tel.Tracer)
+			tel.attachProfileSharded(ss, tel.nextRun(fmt.Sprintf("freeze-%d", freezes)))
+		}
 		// Space freezes so each lands while the (stretched) transfer is
 		// still in flight: completion after k freezes is base + 2k.
 		for i := 0; i < freezes; i++ {
 			sw.FreezeAt(0.3+2.1*float64(i), 2.0)
 		}
 		elapsed := workload.TransposeSharded(ss, sw, msg)
+		tel.endSharded(ss)
 		cfg.observeBarrier(fmt.Sprintf("freeze-%d", freezes), ss)
 		if freezes == 0 {
 			base = elapsed

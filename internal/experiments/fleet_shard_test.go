@@ -77,6 +77,48 @@ func TestFleetShardCountInvariant(t *testing.T) {
 	}
 }
 
+// TestTracedPlanesShardCountInvariant extends the byte-identity contract
+// to fully traced runs of the other sharded planes: one switch-fabric
+// experiment (E10) and one cluster experiment (E23), with every
+// telemetry flag on — including the profiling plane, so per-shard
+// station samplers are in the loop — must emit byte-identical tables
+// and artifacts at shard counts 1, 2, and 8 across several seeds.
+func TestTracedPlanesShardCountInvariant(t *testing.T) {
+	for _, id := range []string{"E10", "E23"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []uint64{1, 42, 1337} {
+			run := func(shards int) (string, string) {
+				cfg := Config{Seed: seed, Quick: true, Trace: true, Audit: true,
+					Metrics: true, Profile: true, Shards: shards}
+				tbl := e.Run(cfg)
+				art := telemetryArtifacts(t, tbl)
+				if art == "" {
+					t.Fatalf("%s seed %d shards %d: no telemetry artifacts", id, seed, shards)
+				}
+				return tbl.Format(), art
+			}
+			refFmt, refArt := run(1)
+			for _, shards := range []int{2, 8} {
+				gotFmt, gotArt := run(shards)
+				if gotFmt != refFmt {
+					t.Errorf("%s seed %d: table differs between -shards=1 and -shards=%d",
+						id, seed, shards)
+				}
+				if gotArt != refArt {
+					t.Errorf("%s seed %d: traced artifacts differ between -shards=1 and -shards=%d (%d vs %d bytes)",
+						id, seed, shards, len(refArt), len(gotArt))
+				}
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}
+
 // TestFleetScenarioShardCountInvariant checks RunFleetScenario's result
 // struct directly — every field, including the per-sweep flagged series —
 // across a shard-count spread that includes counts that do not divide the

@@ -123,6 +123,40 @@ func TestProfilePlane(t *testing.T) {
 	}
 
 	// The sampler must have recorded occupancy for at least one station,
+	// and the profile analyses must see the same merged data at any shard
+	// count: the derived artifacts carry no meta stamp here, so they must
+	// be byte-identical between one shard and eight.
+	for _, id := range []string{"E23", "E32"} {
+		renderAt := func(shards int) [4]string {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := e.Run(Config{Seed: 42, Quick: true, Profile: true, Shards: shards})
+			tel := tbl.Telemetry
+			rep := profile.Analyze(tel.Tracer, tel.Metrics)
+			slo := profile.AnalyzeSLO(tel.Tracer, profile.SLOConfig{})
+			var j, f, x, s strings.Builder
+			if err := rep.WriteJSON(&j); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteFolded(&f); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteText(&x, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := slo.WriteJSON(&s); err != nil {
+				t.Fatal(err)
+			}
+			return [4]string{j.String(), f.String(), x.String(), s.String()}
+		}
+		if one, eight := renderAt(1), renderAt(8); one != eight {
+			t.Fatalf("%s: profile analyses differ between -shards=1 and -shards=8", id)
+		}
+	}
+
+	// The sampler must have recorded occupancy for at least one station,
 	// and the profiler must surface it as queue stats.
 	tbl, _ := Get("E23")
 	tel := tbl.Run(profiled).Telemetry

@@ -23,6 +23,12 @@ type Telemetry struct {
 	// station occupancy sampler so the profiler can reconstruct
 	// queue-depth and backlog profiles alongside the span DAG.
 	Profile bool
+	// Recorder, when non-nil, bounds the tracing plane with a flight
+	// recorder (fleet-scale experiments set it before their first
+	// sub-run): the destination tracer and every per-shard collector get
+	// the same ring/reservoir/seed configuration, which is what makes the
+	// merged selection byte-identical at any shard count.
+	Recorder *trace.RecorderConfig
 
 	runSeq int
 	clock  float64
@@ -60,6 +66,36 @@ func (tel *Telemetry) attachProfile(s *sim.Simulator, run string) {
 	s.SetStationProbe(profile.StationSampler(tel.Metrics, run))
 }
 
+// attachSharded installs per-shard telemetry collectors on one sub-run's
+// coordinator, feeding this telemetry's sinks (and flight-recorder
+// bound, if set). Components wired afterwards record shard-locally; the
+// sub-run's endSharded folds everything back. A no-op when telemetry is
+// off.
+func (tel *Telemetry) attachSharded(ss *sim.ShardedSimulator) {
+	if tel == nil {
+		return
+	}
+	ss.SetTelemetry(sim.TelemetrySinks{
+		Tracer:         tel.Tracer,
+		Metrics:        tel.Metrics,
+		Audit:          tel.Audit,
+		FlightRecorder: tel.Recorder,
+	})
+}
+
+// attachProfileSharded is attachProfile for a sharded sub-run: each
+// shard's kernel samples station occupancy into that shard's metrics
+// collector, so the probe's appends stay shard-local during the parallel
+// window. Requires attachSharded first.
+func (tel *Telemetry) attachProfileSharded(ss *sim.ShardedSimulator, run string) {
+	if tel == nil || !tel.Profile {
+		return
+	}
+	for i := 0; i < ss.Shards(); i++ {
+		ss.Shard(i).SetStationProbe(profile.StationSampler(ss.ShardMetrics(i), run))
+	}
+}
+
 // nextRun labels one sub-run (one simulator instance) within the
 // experiment, e.g. "3-adaptive-pull". Metric labels and span layout use
 // it to keep sub-runs distinguishable.
@@ -78,6 +114,25 @@ func (tel *Telemetry) endRun(s *sim.Simulator) {
 	now := s.Now()
 	tel.Tracer.Flush(now)
 	tel.clock += now + 1
+	tel.Tracer.Rebase(tel.clock)
+}
+
+// endSharded closes a sharded sub-run: the coordinator's per-shard
+// collectors flush and fold into the telemetry sinks in canonical merge
+// order, then the time base advances exactly as endRun does. The fold
+// happens at the maximum shard clock — the one end-of-run instant that
+// reads the same at every shard count — so the next sub-run's layout is
+// placement-invariant too.
+func (tel *Telemetry) endSharded(ss *sim.ShardedSimulator) {
+	if tel == nil {
+		return
+	}
+	end := ss.MergeTelemetry()
+	if tel.Tracer == nil {
+		return
+	}
+	tel.Tracer.Flush(end)
+	tel.clock += end + 1
 	tel.Tracer.Rebase(tel.clock)
 }
 

@@ -560,7 +560,7 @@ func predictE14(in Input, r *Report) {
 	capHealthy := 4 * opsPerNode / 2
 	r.check(in, "queue-capacity", "puts_healthy", capHealthy, Upper, 0.02)
 	// The closed loop keeps the bricks near saturation; the floor is
-	// calibrated, not derived (see DESIGN.md section 12).
+	// calibrated, not derived (see DESIGN.md section 13).
 	r.check(in, "queue-capacity", "puts_healthy", 0.6*capHealthy, Lower, 0)
 
 	r.check(in, "queue-capacity", "puts_gc_sync", (3*opsPerNode+healthy0)/2, Upper, 0.05)

@@ -97,6 +97,11 @@ type ShardedSimulator struct {
 	// (BarrierPool), which fleet-wide barrier hooks fan sweeps across.
 	barrierWorkers int
 	pool           *WorkerPool
+
+	// tel, when non-nil, holds the per-shard telemetry collectors
+	// installed by SetTelemetry and folded into the destination sinks by
+	// MergeTelemetry.
+	tel *shardTelemetry
 }
 
 // lane is one (source, destination) outbox: events appended in source

@@ -9,7 +9,20 @@ import (
 // is safe to End, parent from, or carry through request structs: every
 // Tracer method treats it as a no-op, so call sites only need a single
 // nil-tracer check to stay allocation-free when tracing is off.
+//
+// A shard collector (NewShardTracer) qualifies its ids with the shard
+// index in the bits above localIDBits, so ids allocated by different
+// shards never collide and Merge can remap parent links globally. Plain
+// tracers keep the qualifier zero, leaving their ids — and every golden
+// artifact recorded through them — unchanged.
 type SpanID int64
+
+const (
+	// localIDBits is the width of a collector's local span index; the
+	// shard qualifier occupies the bits above it.
+	localIDBits = 40
+	localIDMask = SpanID(1)<<localIDBits - 1
+)
 
 // TrackID identifies one timeline (a station, a disk, a cluster worker) in
 // the exported trace. Tracks are registered once per component via Track
@@ -53,11 +66,31 @@ type Tracer struct {
 	// independent simulations (each restarting at t=0) rebase between runs
 	// so the exported timeline lays the runs out end to end.
 	offset float64
+	// qual is OR-ed into every allocated span id: zero for a plain tracer,
+	// (shard+1)<<localIDBits for a per-shard collector.
+	qual SpanID
+	// fr, when non-nil, puts the tracer in flight-recorder mode: open
+	// spans are tracked exactly, completed spans pass through a bounded
+	// deterministic selection instead of being retained wholesale.
+	fr *flightRecorder
 }
 
 // NewTracer builds an empty tracer.
 func NewTracer() *Tracer {
 	return &Tracer{trackIx: make(map[string]TrackID)}
+}
+
+// NewShardTracer builds a per-shard collector: a tracer whose span ids
+// carry shard+1 in their high bits, so ids allocated concurrently by
+// different shards' collectors are globally unique and Merge can stitch
+// parent links across them.
+func NewShardTracer(shard int) *Tracer {
+	if shard < 0 {
+		panic("trace: shard index must be non-negative")
+	}
+	t := NewTracer()
+	t.qual = SpanID(shard+1) << localIDBits
+	return t
 }
 
 // Track returns the track id for the given name, registering it on first
@@ -69,6 +102,11 @@ func (t *Tracer) Track(name string) TrackID {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.trackLocked(name)
+}
+
+// trackLocked is Track with t.mu already held.
+func (t *Tracer) trackLocked(name string) TrackID {
 	if id, ok := t.trackIx[name]; ok {
 		return id
 	}
@@ -111,7 +149,10 @@ func (t *Tracer) BeginArg(track TrackID, name, cat string, parent SpanID, start 
 func (t *Tracer) begin(track TrackID, name, cat string, parent SpanID, start float64, arg int64, hasArg bool) SpanID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	id := SpanID(len(t.spans) + 1)
+	if t.fr != nil {
+		return t.qual | t.fr.begin(track, name, cat, start+t.offset, arg, hasArg)
+	}
+	id := t.qual | SpanID(len(t.spans)+1)
 	t.spans = append(t.spans, Span{
 		ID: id, Parent: parent, Track: track, Name: name, Cat: cat,
 		Start: start + t.offset, End: math.NaN(), Arg: arg, HasArg: hasArg,
@@ -128,7 +169,15 @@ func (t *Tracer) End(id SpanID, end float64) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	i := int(id) - 1
+	if id&^localIDMask != t.qual {
+		// Another collector's id: never ours to close.
+		return
+	}
+	if t.fr != nil {
+		t.fr.end(id&localIDMask, end+t.offset, t.tracks)
+		return
+	}
+	i := int(id&localIDMask) - 1
 	if i < 0 || i >= len(t.spans) || !math.IsNaN(t.spans[i].End) {
 		return
 	}
@@ -143,8 +192,12 @@ func (t *Tracer) Instant(track TrackID, name, cat string, at float64) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	id := SpanID(len(t.spans) + 1)
 	at += t.offset
+	if t.fr != nil {
+		t.fr.instant(track, name, cat, at, t.tracks)
+		return
+	}
+	id := t.qual | SpanID(len(t.spans)+1)
 	t.spans = append(t.spans, Span{
 		ID: id, Track: track, Name: name, Cat: cat,
 		Start: at, End: at, Instant: true,
@@ -161,6 +214,10 @@ func (t *Tracer) Flush(now float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	end := now + t.offset
+	if t.fr != nil {
+		t.fr.flush(end, t.tracks)
+		return
+	}
 	for i := range t.spans {
 		if math.IsNaN(t.spans[i].End) {
 			t.spans[i].End = end
@@ -182,24 +239,57 @@ func (t *Tracer) Rebase(at float64) {
 	t.offset = at
 }
 
-// Len returns the number of recorded spans (including instants).
+// Len returns the number of retained spans (including instants): every
+// recorded span for a plain tracer, the bounded selection for a
+// flight-recorder tracer (see Recorded for the exact recorded count).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.fr != nil {
+		return len(t.fr.snapshot(t.tracks))
+	}
 	return len(t.spans)
 }
 
-// Spans returns a copy of the recorded spans in record order.
+// Spans returns a copy of the retained spans: record order for a plain
+// tracer; for a flight-recorder tracer, the retained selection in
+// canonical (start, track name, begin sequence) order with dense ids and
+// parent links cut (sampling cannot promise the parent survived).
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.fr != nil {
+		ents := t.fr.snapshot(t.tracks)
+		out := make([]Span, len(ents))
+		for i, e := range ents {
+			sp := e.span
+			sp.ID = SpanID(i + 1)
+			sp.Parent = 0
+			out[i] = sp
+		}
+		return out
+	}
 	out := make([]Span, len(t.spans))
 	copy(out, t.spans)
 	return out
+}
+
+// Recorded returns the total spans and instants ever recorded, counting
+// spans a flight recorder later dropped. Equal to Len for a plain tracer.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fr != nil {
+		return t.fr.recorded
+	}
+	return uint64(len(t.spans))
 }
